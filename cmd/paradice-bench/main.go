@@ -1,0 +1,79 @@
+// Command paradice-bench regenerates every table and figure of the paper's
+// evaluation (§6) from the simulation and prints them as text series,
+// paper-value alongside measured where the paper states a number.
+//
+// Usage:
+//
+//	paradice-bench                 # run everything at full fidelity
+//	paradice-bench -quick          # reduced iteration counts (~seconds)
+//	paradice-bench -exp fig2,fig5  # selected experiments
+//	paradice-bench -list           # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"paradice/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced iteration counts for a fast pass")
+	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if *expFlag == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := bench.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	failed := false
+	for _, e := range selected {
+		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		rows, err := e.Run(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "  ERROR: %v\n", err)
+			failed = true
+			continue
+		}
+		printRows(rows, e.IsTable)
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func printRows(rows []bench.Row, table bool) {
+	for _, r := range rows {
+		switch {
+		case table && r.Paper != 0:
+			fmt.Printf("  %-16s %-52s %8.0f %-10s (paper: %.0f)\n", r.Series, r.X, r.Value, r.Unit, r.Paper)
+		case table:
+			fmt.Printf("  %-16s %-52s %8.0f %s\n", r.Series, r.X, r.Value, r.Unit)
+		case r.Paper != 0:
+			fmt.Printf("  %-16s %-22s %10.3f %-6s (paper: %.1f)\n", r.Series, r.X, r.Value, r.Unit, r.Paper)
+		default:
+			fmt.Printf("  %-16s %-22s %10.3f %s\n", r.Series, r.X, r.Value, r.Unit)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package paradice_test
+
+// Conformance between the ioctl analyzer and the real driver: the memory
+// operations a driver's Go handler actually performs must always be covered
+// by grants derived from the analyzer's output. The hypervisor enforces
+// coverage at runtime (anything uncovered is denied and surfaces as EFAULT),
+// so randomized successful ioctls through a Paradice guest ARE the proof:
+// every nested copy the CS handler performed was declared by the frontend's
+// just-in-time slice execution before the handler ran.
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"paradice"
+	"paradice/internal/driver/drm"
+	"paradice/internal/kernel"
+	"paradice/internal/mem"
+)
+
+func TestPropertyAnalyzerGrantsCoverDriverOps(t *testing.T) {
+	m, gk := guestKernel(t, paradice.Config{}, paradice.PathGPU)
+	p, err := gk.NewProcess("fuzzer")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type shape struct {
+		NChunks   uint8
+		SizesDW   [4]uint8 // per-chunk command-stream length seeds
+		HdrOffset uint8    // scatter the header around user memory
+	}
+
+	results := make(chan bool, 1)
+	p.SpawnTask("fuzz", func(tk *kernel.Task) {
+		fd, err := tk.Open(paradice.PathGPU, 2)
+		if err != nil {
+			t.Error(err)
+			results <- false
+			return
+		}
+		// One valid BO so the command streams can reference handle 1.
+		carg, _ := p.Alloc(16)
+		cbuf := make([]byte, 16)
+		binary.LittleEndian.PutUint64(cbuf, mem.PageSize)
+		_ = p.Mem.Write(carg, cbuf)
+		if _, err := tk.Ioctl(fd, drm.IoctlGemCreate, carg); err != nil {
+			t.Error(err)
+			results <- false
+			return
+		}
+
+		f := func(s shape) bool {
+			n := int(s.NChunks % 4) // 0..3 chunks
+			// Build each chunk's IB: a run of NOPs (valid commands).
+			var descs []byte
+			for i := 0; i < n; i++ {
+				words := 1 + int(s.SizesDW[i]%32)
+				ib := make([]byte, words*4) // zeros = OpNop words
+				ibVA, err := p.AllocBytes(ib)
+				if err != nil {
+					return false
+				}
+				d := make([]byte, 16)
+				binary.LittleEndian.PutUint64(d[0:], uint64(ibVA))
+				binary.LittleEndian.PutUint32(d[8:], uint32(words))
+				binary.LittleEndian.PutUint32(d[12:], drm.ChunkIB)
+				descs = append(descs, d...)
+			}
+			var descVA mem.GuestVirt
+			if n > 0 {
+				var err error
+				descVA, err = p.AllocBytes(descs)
+				if err != nil {
+					return false
+				}
+			}
+			hdr := make([]byte, 16)
+			binary.LittleEndian.PutUint32(hdr[0:], uint32(n))
+			binary.LittleEndian.PutUint64(hdr[8:], uint64(descVA))
+			// Place the header at an unaligned offset to vary page spans.
+			pad := make([]byte, int(s.HdrOffset)+16)
+			copy(pad[int(s.HdrOffset):], hdr)
+			padVA, err := p.AllocBytes(pad)
+			if err != nil {
+				return false
+			}
+			// If any memory operation the driver performs were not covered
+			// by the frontend's grants, the hypervisor would deny it and
+			// the ioctl would fail with EFAULT.
+			_, err = tk.Ioctl(fd, drm.IoctlCS, padVA+mem.GuestVirt(s.HdrOffset))
+			return err == nil
+		}
+		err = quick.Check(f, &quick.Config{MaxCount: 40})
+		if err != nil {
+			t.Error(err)
+		}
+		results <- err == nil
+	})
+	m.Run()
+	if ok := <-results; !ok {
+		t.Fatal("analyzer-derived grants failed to cover the driver's memory operations")
+	}
+}
+
+// The same property for the macro-derived grants of plain commands, across
+// random payload placements.
+func TestPropertyMacroGrantsCoverSimpleIoctls(t *testing.T) {
+	m, gk := guestKernel(t, paradice.Config{}, paradice.PathGPU)
+	p, err := gk.NewProcess("fuzzer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool, 1)
+	p.SpawnTask("fuzz", func(tk *kernel.Task) {
+		fd, err := tk.Open(paradice.PathGPU, 2)
+		if err != nil {
+			t.Error(err)
+			done <- false
+			return
+		}
+		f := func(offset uint16) bool {
+			// The Info ioctl copies 32 bytes out at an arbitrary user
+			// address; its grant comes straight from the command number.
+			buf := make([]byte, int(offset%3000)+64)
+			va, err := p.AllocBytes(buf)
+			if err != nil {
+				return false
+			}
+			arg := va + mem.GuestVirt(offset%3000)
+			if _, err := tk.Ioctl(fd, drm.IoctlInfo, arg); err != nil {
+				return false
+			}
+			out := make([]byte, 4)
+			if err := p.Mem.Read(arg, out); err != nil {
+				return false
+			}
+			return binary.LittleEndian.Uint32(out) == drm.VendorATI
+		}
+		err = quick.Check(f, &quick.Config{MaxCount: 30})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- err == nil
+	})
+	m.Run()
+	if ok := <-done; !ok {
+		t.Fatal("macro-derived grants failed")
+	}
+}

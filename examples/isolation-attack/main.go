@@ -1,0 +1,161 @@
+// isolation-attack: the threat model of §4 demonstrated end to end. A
+// malicious guest is assumed to have fully compromised the driver VM
+// through driver bugs; this program then attempts, as the compromised
+// driver VM, each attack §4.2's device data isolation must stop:
+//
+//  1. using the hypervisor memory-operation API to reach the victim's
+//     buffers (refused: region ownership check),
+//  2. reading the victim's protected memory with the driver VM's own CPU
+//     (refused: EPT permissions),
+//  3. programming the device to copy the victim's buffer into the
+//     attacker's region (refused: IOMMU live set + MC window),
+//
+// plus a fault-isolation attack: performing a memory operation the guest
+// never declared in its grant table (refused: §4.1's strict runtime check).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paradice"
+	"paradice/internal/device/gpu"
+	"paradice/internal/grant"
+	"paradice/internal/kernel"
+	"paradice/internal/mem"
+	"paradice/internal/sim"
+	"paradice/internal/usrlib"
+)
+
+func main() {
+	m, err := paradice.New(paradice.Config{DataIsolation: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim := addGuest(m, "victim")
+	attacker := addGuest(m, "attacker")
+
+	secret := []byte("medical-images.raw")
+	writeVictimTexture(m, victim, secret)
+	fmt.Printf("victim wrote %q into a GPU texture through its mmap'ed buffer\n\n", secret)
+	fmt.Println("the attacker has compromised the driver VM; attempting §4.2's attacks:")
+
+	// Attack 1: hypervisor API with a forged-but-valid attacker grant.
+	p, err := attacker.NewProcess("attacker-app")
+	if err != nil {
+		log.Fatal(err)
+	}
+	va := mem.GuestVirt(0x5000_0000)
+	if err := p.PT.EnsureIntermediates(va); err != nil {
+		log.Fatal(err)
+	}
+	ref, err := attacker.Grants.Declare(p.PT.Root(), []grant.Op{
+		{Kind: grant.KindMapPage, VA: va, Len: mem.PageSize},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = m.HV.MapToGuest(attacker.VM, ref, va, m.DriverVM, m.DRM.VRAMGPA())
+	report("map victim's page into attacker via hypervisor API", err)
+
+	// Attack 2: driver VM CPU reads the protected page.
+	buf := make([]byte, len(secret))
+	err = m.DriverVM.Space.Read(m.DRM.VRAMGPA(), buf)
+	report("read victim's texture with the driver VM's CPU", err)
+
+	// Attack 3: program the device to copy across regions. First make the
+	// attacker's region active with a legitimate render, then inject a raw
+	// engine command (the compromised driver can do that).
+	renderOnce(m, attacker)
+	faults := m.GPU.Faults
+	m.GPU.Submit([]gpu.EngineCmd{
+		gpu.Cmd(gpu.OpCopy, 0, m.GPU.VRAMSize()/2, uint64(len(secret))),
+	}, 4242)
+	m.RunUntil(m.Env.Now().Add(5 * sim.Millisecond))
+	if m.GPU.Faults > faults {
+		report("program the GPU to copy the victim's VRAM into the attacker's region",
+			fmt.Errorf("blocked at the memory-controller window (GPU fault)"))
+	} else {
+		report("program the GPU to copy the victim's VRAM into the attacker's region", nil)
+	}
+
+	// Fault isolation: an undeclared memory operation from the (compromised)
+	// driver VM against the attacker's own guest is refused too.
+	err = m.HV.CopyToGuest(attacker.VM, ref, 0x4000_0000, []byte("pwn"))
+	report("copy to a guest address outside any grant", err)
+
+	fmt.Println("\nall attacks stopped; the victim's data never left its region.")
+}
+
+func report(what string, err error) {
+	if err != nil {
+		fmt.Printf("  BLOCKED  %-68s %v\n", what, err)
+		return
+	}
+	fmt.Printf("  LEAKED!  %s\n", what)
+	log.Fatal("an attack succeeded — isolation is broken")
+}
+
+func addGuest(m *paradice.Machine, name string) *paradice.Guest {
+	g, err := m.AddGuest(name, paradice.Linux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.Paravirtualize(paradice.PathGPU); err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+func writeVictimTexture(m *paradice.Machine, g *paradice.Guest, secret []byte) {
+	p, err := g.NewProcess("victim-app")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.SpawnTask("main", func(t *kernel.Task) {
+		ctx, err := usrlib.OpenGPU(t, paradice.PathGPU)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bo, err := ctx.CreateBO(mem.PageSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bva, err := ctx.MapBO(bo, mem.PageSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.UserWrite(t, bva, secret); err != nil {
+			log.Fatal(err)
+		}
+		fb, err := ctx.CreateBO(mem.PageSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ctx.Draw(fb, bo, 1000); err != nil {
+			log.Fatal(err)
+		}
+	})
+	m.Run()
+}
+
+func renderOnce(m *paradice.Machine, g *paradice.Guest) {
+	p, err := g.NewProcess("render-once")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.SpawnTask("main", func(t *kernel.Task) {
+		ctx, err := usrlib.OpenGPU(t, paradice.PathGPU)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fb, err := ctx.CreateBO(mem.PageSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ctx.Draw(fb, 0, 1000); err != nil {
+			log.Fatal(err)
+		}
+	})
+	m.Run()
+}

@@ -1,0 +1,80 @@
+// netmap-pktgen: the §6.1.2 experiment as a runnable program. A guest VM
+// (Linux, then FreeBSD over the same Linux driver VM) transmits 64-byte
+// packets through the paravirtualized /dev/netmap at several batch sizes,
+// against the native baseline — the data behind Figure 2, including the
+// polling-mode crossover at batch 4.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paradice"
+	"paradice/internal/kernel"
+	"paradice/internal/workload"
+)
+
+const (
+	pkts   = 100000
+	pktLen = 64
+)
+
+func main() {
+	batches := []int{1, 4, 16, 64, 256}
+
+	fmt.Println("netmap pkt-gen, 64-byte packets, transmit rate in Mpps")
+	fmt.Printf("%-22s", "batch:")
+	for _, b := range batches {
+		fmt.Printf("%8d", b)
+	}
+	fmt.Println()
+
+	run := func(name string, build func() (*paradice.Machine, *kernel.Kernel)) {
+		fmt.Printf("%-22s", name)
+		for _, b := range batches {
+			m, k := build()
+			res, err := workload.RunPktGen(m.Env, k, b, pkts, pktLen)
+			if err != nil {
+				log.Fatalf("%s batch %d: %v", name, b, err)
+			}
+			fmt.Printf("%8.3f", res.MPPS)
+		}
+		fmt.Println()
+	}
+
+	run("native", func() (*paradice.Machine, *kernel.Kernel) {
+		m, err := paradice.NewNative(paradice.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m, m.AppKernel()
+	})
+	run("paradice (interrupts)", func() (*paradice.Machine, *kernel.Kernel) {
+		return guest(paradice.Config{}, paradice.Linux)
+	})
+	run("paradice (polling)", func() (*paradice.Machine, *kernel.Kernel) {
+		return guest(paradice.Config{Mode: paradice.Polling}, paradice.Linux)
+	})
+	run("freebsd guest (int.)", func() (*paradice.Machine, *kernel.Kernel) {
+		return guest(paradice.Config{}, paradice.FreeBSD)
+	})
+
+	fmt.Println("\nnote how polling reaches native at batch 4 while the")
+	fmt.Println("interrupt transport needs much larger batches to amortize the")
+	fmt.Println("two inter-VM interrupts per forwarded poll (§6.1.2).")
+}
+
+func guest(cfg paradice.Config, flavor kernel.Flavor) (*paradice.Machine, *kernel.Kernel) {
+	m, err := paradice.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := m.AddGuest("guest", flavor)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.Paravirtualize(paradice.PathNetmap); err != nil {
+		log.Fatal(err)
+	}
+	return m, g.K
+}

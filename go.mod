@@ -1,0 +1,3 @@
+module paradice
+
+go 1.22

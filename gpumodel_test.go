@@ -1,0 +1,67 @@
+package paradice_test
+
+// Table 1 paravirtualizes GPUs "of various makes and models" behind the
+// same device file boundary; these tests run the same guest application
+// against each modeled card.
+
+import (
+	"testing"
+
+	"paradice"
+	"paradice/internal/workload"
+)
+
+func TestAllGPUModelsServeTheSameGuestCode(t *testing.T) {
+	for _, model := range []string{"hd6450", "hd4650", "x1300", "gm965"} {
+		m, err := paradice.New(paradice.Config{GPUModel: model})
+		if err != nil {
+			t.Fatalf("%s: %v", model, err)
+		}
+		g, err := m.AddGuest("guest", paradice.Linux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Paravirtualize(paradice.PathGPU); err != nil {
+			t.Fatal(err)
+		}
+		res, err := workload.RunMatmul(m.Env, g.K, 24, 5)
+		if err != nil || !res.Correct {
+			t.Fatalf("%s: matmul %+v %v", model, res, err)
+		}
+		// The guest's device info module reports the right identity.
+		vendor, _ := g.K.SysInfo("pci0/gpu/vendor")
+		if model == "gm965" && vendor != "0x8086" {
+			t.Fatalf("gm965 vendor = %s", vendor)
+		}
+		if model != "gm965" && vendor != "0x1002" {
+			t.Fatalf("%s vendor = %s", model, vendor)
+		}
+	}
+}
+
+func TestDataIsolationRequiresEvergreen(t *testing.T) {
+	// The HD 4650 predates the Evergreen memory-controller bound registers
+	// (§5.3): building a DI machine on it must fail.
+	if _, err := paradice.New(paradice.Config{GPUModel: "hd4650", DataIsolation: true}); err == nil {
+		t.Fatal("data isolation enabled on a pre-Evergreen card")
+	}
+	if _, err := paradice.New(paradice.Config{GPUModel: "hd6450", DataIsolation: true}); err != nil {
+		t.Fatalf("Evergreen DI machine failed: %v", err)
+	}
+}
+
+func TestUnknownGPUModelRejected(t *testing.T) {
+	if _, err := paradice.New(paradice.Config{GPUModel: "voodoo2"}); err == nil {
+		t.Fatal("unknown GPU model accepted")
+	}
+}
+
+func TestModelVRAMSizing(t *testing.T) {
+	m, err := paradice.New(paradice.Config{GPUModel: "x1300"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.GPU.VRAMSize() != 256<<20 {
+		t.Fatalf("x1300 VRAM = %d", m.GPU.VRAMSize())
+	}
+}

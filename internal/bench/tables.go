@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"paradice/internal/devfile"
+	"paradice/internal/device/camera"
+	"paradice/internal/driver/drm"
+	"paradice/internal/ioctlan"
+)
+
+func infoCmd() devfile.IoctlCmd { return drm.IoctlInfo }
+
+func cameraResolutions() []camera.Resolution { return camera.Resolutions }
+
+// RunTable1 reproduces Table 1: the device classes this build
+// paravirtualizes, the backing device models of the paper's testbed, and
+// the class-specific code sizes. The LoC column reports this repository's
+// measured class-specific module sizes next to the paper's counts.
+func RunTable1(quick bool) ([]Row, error) {
+	classes := []struct {
+		class    string
+		devices  string
+		driver   string
+		paperLoC float64
+		pkg      string
+	}{
+		{"GPU", "ATI Radeon HD 6450 (Evergreen model)", "DRM/radeon", 92, "internal/devinfo"},
+		{"Input", "Dell USB Mouse / Keyboard", "evdev", 58, "internal/devinfo"},
+		{"Camera", "Logitech HD Pro Webcam C920", "V4L2/UVC", 43, "internal/devinfo"},
+		{"Audio", "Intel Panther Point HD Audio", "PCM/snd-hda", 37, "internal/devinfo"},
+		{"Ethernet", "Intel Gigabit Adapter (netmap)", "netmap/e1000e", 21, "internal/devinfo"},
+	}
+	var rows []Row
+	for _, c := range classes {
+		rows = append(rows, Row{
+			Series: c.class,
+			X:      c.devices + " — " + c.driver,
+			Value:  measureDevinfoClass(c.class),
+			Unit:   "LoC (class-specific device info)",
+			Paper:  c.paperLoC,
+		})
+	}
+	return rows, nil
+}
+
+// measureDevinfoClass counts the lines of the class's device-info function
+// in this repository — the analogue of the paper's per-class module count.
+func measureDevinfoClass(class string) float64 {
+	root, ok := repoRoot()
+	if !ok {
+		return 0
+	}
+	data, err := os.ReadFile(filepath.Join(root, "internal", "devinfo", "devinfo.go"))
+	if err != nil {
+		return 0
+	}
+	marker := map[string]string{
+		"GPU": "func InstallGPU", "Input": "func InstallInput",
+		"Camera": "func InstallCamera", "Audio": "func InstallAudio",
+		"Ethernet": "func InstallNetmapEthernet",
+	}[class]
+	lines := strings.Split(string(data), "\n")
+	count := 0
+	in := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, marker) {
+			in = true
+		}
+		if in {
+			count++
+			if l == "}" {
+				break
+			}
+		}
+	}
+	return float64(count)
+}
+
+// RunTable2 reproduces Table 2's structure for this repository: measured
+// lines of code per component, split generic vs class-specific, mirroring
+// the paper's breakdown rows.
+func RunTable2(quick bool) ([]Row, error) {
+	root, ok := repoRoot()
+	if !ok {
+		return []Row{{Series: "unavailable", X: "source tree not found at runtime", Unit: "LoC"}}, nil
+	}
+	components := []struct {
+		series string // paper row
+		x      string
+		dirs   []string
+	}{
+		{"Generic", "CVD frontend+backend+shared (paper: 3881)", []string{"internal/cvd"}},
+		{"Generic", "kernel wrapper stubs (paper: 198)", []string{"internal/kernel"}},
+		{"Generic", "hypervisor API + grants (paper: 1349)", []string{"internal/hv", "internal/grant"}},
+		{"Generic", "driver ioctl analyzer (paper: 501)", []string{"internal/ioctlan"}},
+		{"Class-specific", "device info modules (paper: 251)", []string{"internal/devinfo"}},
+		{"Class-specific", "data isolation for the DRM driver (paper: 382)", []string{"internal/driver/drm"}},
+		{"Substrate", "simulated memory system / IOMMU / DES kernel", []string{"internal/mem", "internal/iommu", "internal/sim"}},
+		{"Substrate", "simulated devices", []string{"internal/device"}},
+		{"Substrate", "device drivers", []string{"internal/driver"}},
+		{"Substrate", "userspace libraries + workloads", []string{"internal/usrlib", "internal/workload"}},
+	}
+	var rows []Row
+	for _, c := range components {
+		var total int
+		for _, d := range c.dirs {
+			total += countGoLines(filepath.Join(root, d))
+		}
+		rows = append(rows, Row{Series: c.series, X: c.x, Value: float64(total), Unit: "LoC"})
+	}
+	return rows, nil
+}
+
+// countGoLines counts non-test Go source lines under dir, excluding blank
+// lines and comment-only lines — matching the paper's use of CLOC.
+func countGoLines(dir string) int {
+	total := 0
+	_ = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil
+		}
+		for _, l := range strings.Split(string(data), "\n") {
+			t := strings.TrimSpace(l)
+			if t == "" || strings.HasPrefix(t, "//") {
+				continue
+			}
+			total++
+		}
+		return nil
+	})
+	return total
+}
+
+func repoRoot() (string, bool) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", false
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file)))
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		return "", false
+	}
+	return root, true
+}
+
+// RunTable3 prints Table 3's qualitative comparison, with Paradice's column
+// demonstrated by construction in this repository (sharing by the multi-VM
+// experiments, legacy support because none of the simulated devices have
+// virtualization hardware, performance by Figures 2-6).
+func RunTable3(quick bool) ([]Row, error) {
+	type entry struct {
+		approach string
+		perf     string
+		effort   string
+		sharing  string
+		legacy   string
+	}
+	entries := []entry{
+		{"Emulation", "no", "no", "yes", "yes"},
+		{"Direct I/O", "yes", "yes", "no", "yes"},
+		{"Self Virt.", "yes", "yes", "yes (limited)", "no"},
+		{"Paravirt.", "yes", "no", "yes", "yes"},
+		{"Paradice", "yes", "yes", "yes", "yes"},
+	}
+	var rows []Row
+	for _, e := range entries {
+		rows = append(rows, Row{
+			Series: e.approach,
+			X: fmt.Sprintf("high-perf=%s, low-effort=%s, sharing=%s, legacy=%s",
+				e.perf, e.effort, e.sharing, e.legacy),
+			Unit: "property",
+		})
+	}
+	return rows, nil
+}
+
+// RunAnalyzer reports the ioctl analyzer's results on the DRM driver: how
+// each command was classified, and the slicing ratio — the reproduction of
+// the paper's "760 lines of extracted code" and "nested copies in 14 ioctl
+// commands" findings at this driver's scale.
+func RunAnalyzer(quick bool) ([]Row, error) {
+	progs := drm.IoctlIR()
+	sort.Slice(progs, func(i, j int) bool { return progs[i].Name < progs[j].Name })
+	var rows []Row
+	dynamic := 0
+	extracted := 0
+	for _, p := range progs {
+		spec, err := ioctlan.Analyze(p)
+		if err != nil {
+			return nil, err
+		}
+		kind := "static entries"
+		if spec.Dynamic {
+			kind = "JIT slice (nested copies)"
+			dynamic++
+			extracted += spec.ExtractedLines
+		}
+		rows = append(rows, Row{
+			Series: p.Name,
+			X:      fmt.Sprintf("%s; slice %d of %d stmts", kind, spec.ExtractedLines, spec.OriginalLines),
+			Value:  float64(spec.ExtractedLines),
+			Unit:   "stmts",
+		})
+	}
+	rows = append(rows, Row{
+		Series: "TOTAL",
+		X:      fmt.Sprintf("%d of %d commands need JIT execution (paper: 14 of the Radeon set)", dynamic, len(progs)),
+		Value:  float64(extracted),
+		Unit:   "extracted stmts",
+	})
+	return rows, nil
+}

@@ -1,0 +1,357 @@
+package cvd
+
+import (
+	"fmt"
+
+	"paradice/internal/grant"
+	"paradice/internal/hv"
+	"paradice/internal/kernel"
+	"paradice/internal/mem"
+	"paradice/internal/perf"
+	"paradice/internal/sim"
+)
+
+// Mode selects the CVD transport: inter-VM interrupts (default) or the
+// polling mode for high-performance applications (§5.1), in which both
+// sides poll the shared page for 200 µs before going to sleep to wait for
+// interrupts.
+type Mode int
+
+// Transport modes.
+const (
+	Interrupts Mode = iota
+	Polling
+)
+
+func (m Mode) String() string {
+	if m == Polling {
+		return "polling"
+	}
+	return "interrupts"
+}
+
+// Backend is the CVD backend serving one guest VM's channel for one device
+// file. A dispatcher task pops posted operations in FIFO order and invokes
+// a handler thread per operation, marking the thread so the kernel's
+// wrapper stubs redirect its memory operations to the hypervisor (§5.2).
+type Backend struct {
+	hv       *hv.Hypervisor
+	driverVM *hv.VM
+	guestVM  *hv.VM
+	driverK  *kernel.Kernel
+	node     *kernel.DeviceNode
+	mode     Mode
+	window   sim.Duration // polling window before sleeping (§5.1: 200 µs)
+	ring     page
+	proc     *kernel.Process
+
+	doorbell *sim.Event
+	files    map[uint16]*kernel.File
+	vmas     map[uint16]map[mem.GuestVirt]*kernel.VMA // fileID -> start -> VMA
+	vecResp  int
+	vecNotif int
+	// frontendDoorbell, installed at connect time, is the simulation's
+	// stand-in for a spinning requester's load of the shared page (the
+	// response data itself still travels through the page).
+	frontendDoorbell func()
+	// stopped terminates the dispatcher (driver VM restart).
+	stopped bool
+
+	// notifyGate, when set, is consulted before sending a notification;
+	// the foreground/background model of §5.1 gates input notifications to
+	// the foreground guest only.
+	notifyGate func() bool
+
+	// Stats observable by tests and the bench harness.
+	OpsHandled    uint64
+	NotifsSent    uint64
+	NotifsDropped uint64
+	WakeIRQs      uint64 // doorbell interrupts received while sleeping
+	PolledPosts   uint64 // posts observed while spinning
+}
+
+// SetNotifyGate installs a predicate consulted before notifications are
+// sent. Paradice's foreground-background sharing model (§5.1) uses it to
+// deliver input notifications only to the foreground guest VM.
+func (b *Backend) SetNotifyGate(fn func() bool) { b.notifyGate = fn }
+
+// remoteConduit implements kernel.RemoteOps for one forwarded file
+// operation, attaching its grant reference to every hypervisor request.
+type remoteConduit struct {
+	hv    *hv.Hypervisor
+	guest *hv.VM
+	drv   *hv.VM
+	ref   uint32
+}
+
+func (r *remoteConduit) CopyToUser(dst mem.GuestVirt, src []byte) error {
+	if err := r.hv.CopyToGuest(r.guest, r.ref, dst, src); err != nil {
+		return kernel.EFAULT
+	}
+	return nil
+}
+
+func (r *remoteConduit) CopyFromUser(src mem.GuestVirt, buf []byte) error {
+	if err := r.hv.CopyFromGuest(r.guest, r.ref, src, buf); err != nil {
+		return kernel.EFAULT
+	}
+	return nil
+}
+
+func (r *remoteConduit) MapPage(va mem.GuestVirt, pfn mem.GuestPhys) error {
+	if err := r.hv.MapToGuest(r.guest, r.ref, va, r.drv, pfn); err != nil {
+		return kernel.EFAULT
+	}
+	return nil
+}
+
+func (r *remoteConduit) UnmapPage(va mem.GuestVirt) error {
+	if err := r.hv.UnmapFromGuest(r.guest, r.ref, va); err != nil {
+		return kernel.EFAULT
+	}
+	return nil
+}
+
+func newBackend(h *hv.Hypervisor, driverVM, guestVM *hv.VM, driverK *kernel.Kernel,
+	node *kernel.DeviceNode, ringGPA mem.GuestPhys, mode Mode, window sim.Duration,
+	vecToBackend, vecResp, vecNotif int) (*Backend, error) {
+	proc, err := driverK.NewProcess("cvd-backend-" + guestVM.Name)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backend{
+		hv:       h,
+		driverVM: driverVM,
+		guestVM:  guestVM,
+		driverK:  driverK,
+		node:     node,
+		mode:     mode,
+		window:   window,
+		ring:     page{acc: &grant.GuestAccessor{Space: driverVM.Space, GPA: ringGPA}},
+		proc:     proc,
+		doorbell: driverK.Env.NewEvent("cvd-doorbell-" + guestVM.Name),
+		files:    make(map[uint16]*kernel.File),
+		vmas:     make(map[uint16]map[mem.GuestVirt]*kernel.VMA),
+		vecResp:  vecResp,
+		vecNotif: vecNotif,
+	}
+	// The driver calling kill_fasync on one of our opened files lands in
+	// our backend process's SIGIO path; relay it to the frontend.
+	proc.OnSIGIO(func() { b.notify(notifSIGIO) })
+	driverVM.RegisterISR(vecToBackend, func() {
+		b.WakeIRQs++
+		b.doorbell.Trigger()
+	})
+	driverK.Env.Spawn("cvd-dispatch-"+guestVM.Name, b.dispatch)
+	return b, nil
+}
+
+// Proc returns the backend's kernel process — the identity under which all
+// of this guest's file operations reach the driver. Drivers modified for
+// device data isolation key their per-guest regions on it.
+func (b *Backend) Proc() *kernel.Process { return b.proc }
+
+// notify posts a notification bit and kicks the frontend, unless the
+// notification gate says this guest should not receive it.
+func (b *Backend) notify(bits uint32) {
+	if b.notifyGate != nil && !b.notifyGate() {
+		b.NotifsDropped++
+		return
+	}
+	b.ring.postNotif(bits)
+	b.NotifsSent++
+	b.hv.SendInterrupt(b.guestVM, b.vecNotif)
+}
+
+// dispatch is the backend's main loop: pop the oldest posted slot, spawn a
+// handler thread for it, repeat; between operations, poll the page for the
+// 200 µs window (polling mode) before sleeping on the doorbell.
+//
+// The dispatcher and its sleep are the "vCPU halt" fast path: waking it
+// costs only the interrupt delivery latency, not a scheduler wake-up —
+// which is why the no-op round trip of §6.1.1 is two interrupts and little
+// else.
+func (b *Backend) dispatch(p *sim.Proc) {
+	for {
+		if b.stopped {
+			return
+		}
+		if slot, ok := b.oldestPosted(); ok {
+			b.ring.setSlotState(slot, slotRunning)
+			req := b.ring.readRequest(slot)
+			b.spawnHandler(req)
+			continue
+		}
+		// About to sleep: re-arm the doorbell, then re-check the queue so a
+		// post that raced with the scan is not lost.
+		b.doorbell.Reset()
+		if _, ok := b.oldestPosted(); ok {
+			continue
+		}
+		if b.mode == Polling && b.window > 0 {
+			b.ring.writeU32(hdrBackendPoll, 1)
+			woken := p.WaitTimeout(b.doorbell, b.window)
+			b.ring.writeU32(hdrBackendPoll, 0)
+			if woken {
+				continue
+			}
+			b.doorbell.Reset()
+			if _, ok := b.oldestPosted(); ok {
+				continue
+			}
+		}
+		p.Wait(b.doorbell)
+	}
+}
+
+func (b *Backend) oldestPosted() (int, bool) {
+	best, bestSeq, found := -1, uint32(0), false
+	for s := 0; s < slotCount; s++ {
+		if b.ring.slotState(s) != slotPosted {
+			continue
+		}
+		seq := b.ring.readU32(slotOff(s) + sSeq)
+		if !found || seq < bestSeq {
+			best, bestSeq, found = s, seq, true
+		}
+	}
+	return best, found
+}
+
+// spawnHandler runs one forwarded operation on its own thread, as the paper
+// does ("the CVD backend invokes a thread to execute the file operation"),
+// so an operation blocking in the driver does not stall the queue.
+func (b *Backend) spawnHandler(req request) {
+	b.driverK.Env.Spawn(fmt.Sprintf("cvd-op-%s-%d", b.guestVM.Name, req.seq), func(sp *sim.Proc) {
+		sp.Advance(perf.CostPost) // deserialize the request
+		task := b.proc.AdoptTask(fmt.Sprintf("op%d", req.seq), sp)
+		conduit := &remoteConduit{hv: b.hv, guest: b.guestVM, drv: b.driverVM, ref: req.ref}
+		restore := task.Mark(conduit)
+		ret, errno := b.execute(task, req)
+		restore()
+		sp.Advance(perf.CostComplete)
+		b.ring.writeResponse(req.slot, ret, int32(errno))
+		b.OpsHandled++
+		b.complete()
+	})
+}
+
+// complete signals the frontend that a response is ready: a cheap
+// shared-page observation if a requester is spinning, an inter-VM interrupt
+// otherwise.
+func (b *Backend) complete() {
+	if b.ring.readU32(hdrFrontendPoll) > 0 {
+		b.hv.Env.After(perf.CostPollCross, func() {
+			// The spinning requester notices the state change on its next
+			// poll iteration; the response event is triggered by the
+			// frontend ISR in interrupt mode, so emulate the doorbell here.
+			if fe := b.frontendDoorbell; fe != nil {
+				fe()
+			}
+		})
+		return
+	}
+	b.hv.SendInterrupt(b.guestVM, b.vecResp)
+}
+
+func (b *Backend) execute(task *kernel.Task, req request) (int32, kernel.Errno) {
+	ops := b.node.Ops
+	toErrno := func(err error) kernel.Errno {
+		if err == nil {
+			return 0
+		}
+		if e, ok := err.(kernel.Errno); ok {
+			return e
+		}
+		return kernel.EIO
+	}
+	switch req.op {
+	case opOpen:
+		f := &kernel.File{Node: b.node, Flags: devfileFlags(req.arg0), Proc: b.proc}
+		if err := ops.Open(&kernel.FopCtx{Task: task, File: f}); err != nil {
+			return -1, toErrno(err)
+		}
+		b.files[req.fileID] = f
+		return 0, 0
+	case opRelease:
+		f, ok := b.files[req.fileID]
+		if !ok {
+			return -1, kernel.EINVAL
+		}
+		delete(b.files, req.fileID)
+		delete(b.vmas, req.fileID)
+		return 0, toErrno(ops.Release(&kernel.FopCtx{Task: task, File: f}))
+	}
+	f, ok := b.files[req.fileID]
+	if !ok {
+		return -1, kernel.EINVAL
+	}
+	c := &kernel.FopCtx{Task: task, File: f}
+	switch req.op {
+	case opRead:
+		n, err := ops.Read(c, mem.GuestVirt(req.arg0), int(req.arg1))
+		return int32(n), toErrno(err)
+	case opWrite:
+		n, err := ops.Write(c, mem.GuestVirt(req.arg0), int(req.arg1))
+		return int32(n), toErrno(err)
+	case opIoctl:
+		ret, err := ops.Ioctl(c, devfileCmd(req.arg0), mem.GuestVirt(req.arg1))
+		return ret, toErrno(err)
+	case opMmap:
+		v := &kernel.VMA{Proc: b.proc, Start: mem.GuestVirt(req.arg0), Len: req.arg1, File: f, Pgoff: req.arg2}
+		if err := ops.Mmap(c, v); err != nil {
+			return -1, toErrno(err)
+		}
+		m := b.vmas[req.fileID]
+		if m == nil {
+			m = make(map[mem.GuestVirt]*kernel.VMA)
+			b.vmas[req.fileID] = m
+		}
+		m[v.Start] = v
+		return 0, 0
+	case opMunmap:
+		v := b.vmas[req.fileID][mem.GuestVirt(req.arg0)]
+		if v == nil {
+			return -1, kernel.EINVAL
+		}
+		delete(b.vmas[req.fileID], mem.GuestVirt(req.arg0))
+		// Destroy the hypervisor (EPT) mappings for every page of the
+		// range; the guest kernel has already cleared its own page tables
+		// (§5.2). Pages that were never faulted in simply return an error
+		// we ignore.
+		for off := uint64(0); off < v.Len; off += mem.PageSize {
+			_ = task.Remote.UnmapPage(v.Start + mem.GuestVirt(off))
+		}
+		if v.OnUnmap != nil {
+			return 0, toErrno(v.OnUnmap(c, v))
+		}
+		return 0, 0
+	case opFault:
+		v := b.vmas[req.fileID][mem.GuestVirt(req.arg1)]
+		if v == nil {
+			return -1, kernel.EINVAL
+		}
+		return 0, toErrno(ops.Fault(c, v, mem.GuestVirt(req.arg0)))
+	case opPoll:
+		pt := b.driverK.NewPollTable()
+		mask := ops.Poll(c, pt)
+		if uint64(mask)&req.arg0 == 0 {
+			// Nothing ready: arm a poll-wake notification so the guest
+			// kernel can re-evaluate when a driver wait queue fires. The
+			// scheduler wake-up of the notifier is charged before the
+			// notification crosses.
+			env := b.driverK.Env
+			pt.Event().OnFire(func() {
+				env.After(perf.CostWakeup, func() { b.notify(notifPollWake) })
+			})
+		}
+		return int32(mask), 0
+	case opFasync:
+		if err := ops.Fasync(c, req.arg0 != 0); err != nil {
+			return -1, toErrno(err)
+		}
+		f.FasyncOn = req.arg0 != 0
+		return 0, 0
+	}
+	return -1, kernel.ENOSYS
+}

@@ -1,0 +1,130 @@
+package cvd
+
+import (
+	"fmt"
+
+	"paradice/internal/devfile"
+	"paradice/internal/grant"
+	"paradice/internal/hv"
+	"paradice/internal/ioctlan"
+	"paradice/internal/kernel"
+	"paradice/internal/perf"
+	"paradice/internal/sim"
+)
+
+// Config describes one paravirtualized device file: which guest sees it,
+// which driver VM device backs it, and how the channel behaves.
+type Config struct {
+	HV       *hv.Hypervisor
+	GuestVM  *hv.VM
+	GuestK   *kernel.Kernel
+	DriverVM *hv.VM
+	DriverK  *kernel.Kernel
+
+	// DevicePath is the real device file in the driver VM's devfs.
+	DevicePath string
+	// GuestPath is the virtual device file to create in the guest
+	// (defaults to DevicePath, mirroring the real file).
+	GuestPath string
+	// Mode selects interrupts or polling transport.
+	Mode Mode
+	// Specs is the ioctl analyzer's output for the device's driver; ioctl
+	// commands without a spec fall back to the command-number macros.
+	Specs map[devfile.IoctlCmd]*ioctlan.CmdSpec
+	// Grants is the guest's grant table, shared by all frontends in the
+	// guest. If nil, a table page is allocated and registered.
+	Grants *grant.Table
+	// PollWindow is how long each side busy-polls the shared page before
+	// sleeping, in polling mode. Zero selects the paper's empirically
+	// chosen 200 µs (§5.1); the ablation experiment sweeps it.
+	PollWindow sim.Duration
+}
+
+// Connect builds a CVD channel: a shared ring page between the guest and
+// driver VMs, interrupt vectors in both directions, the backend dispatcher
+// in the driver VM, and a virtual device file in the guest's devfs backed by
+// the frontend. Returns the frontend and backend halves.
+func Connect(cfg Config) (*Frontend, *Backend, error) {
+	if cfg.GuestPath == "" {
+		cfg.GuestPath = cfg.DevicePath
+	}
+	node, ok := cfg.DriverK.LookupDevice(cfg.DevicePath)
+	if !ok {
+		return nil, nil, fmt.Errorf("cvd: no device %s in %s", cfg.DevicePath, cfg.DriverK.Name)
+	}
+
+	// The ring page lives in guest memory and is shared into the driver VM.
+	ringGPA, err := cfg.GuestK.AllocFrame()
+	if err != nil {
+		return nil, nil, err
+	}
+	beGPA, err := cfg.HV.SharePage(cfg.GuestVM, ringGPA, cfg.DriverVM)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	grants := cfg.Grants
+	if grants == nil {
+		grantGPA, err := cfg.GuestK.AllocFrame()
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := cfg.HV.RegisterGrantTable(cfg.GuestVM, grantGPA); err != nil {
+			return nil, nil, err
+		}
+		grants = grant.NewTable(&grant.GuestAccessor{Space: cfg.GuestVM.Space, GPA: grantGPA})
+	}
+
+	vecToBackend := cfg.DriverVM.AllocVector()
+	vecResp := cfg.GuestVM.AllocVector()
+	vecNotif := cfg.GuestVM.AllocVector()
+	if cfg.PollWindow == 0 {
+		cfg.PollWindow = perf.PollWindow
+	}
+
+	be, err := newBackend(cfg.HV, cfg.DriverVM, cfg.GuestVM, cfg.DriverK, node,
+		beGPA, cfg.Mode, cfg.PollWindow, vecToBackend, vecResp, vecNotif)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	fe := &Frontend{
+		hv:           cfg.HV,
+		guestVM:      cfg.GuestVM,
+		driverVM:     cfg.DriverVM,
+		guestK:       cfg.GuestK,
+		mode:         cfg.Mode,
+		window:       cfg.PollWindow,
+		ring:         page{acc: &grant.GuestAccessor{Space: cfg.GuestVM.Space, GPA: ringGPA}},
+		grants:       grants,
+		specs:        cfg.Specs,
+		ringGPA:      ringGPA,
+		vecToBackend: vecToBackend,
+		vecResp:      vecResp,
+		vecNotif:     vecNotif,
+		pollWQ:       cfg.GuestK.NewWaitQueue("cvd-poll-" + cfg.GuestPath),
+		backend:      be,
+	}
+	for i := range fe.respEvents {
+		fe.respEvents[i] = cfg.HV.Env.NewEvent(fmt.Sprintf("cvd-resp-%s-%d", cfg.GuestPath, i))
+	}
+	be.frontendDoorbell = fe.scanDone
+	cfg.GuestVM.RegisterISR(vecResp, fe.scanDone)
+	cfg.GuestVM.RegisterISR(vecNotif, fe.handleNotifs)
+	cfg.GuestK.RegisterDevice(cfg.GuestPath, fe, fe)
+	return fe, be, nil
+}
+
+// NewGuestGrantTable allocates and registers a grant-table page for a
+// guest, for callers that paravirtualize several devices in one guest (one
+// table per guest VM, shared by its frontends).
+func NewGuestGrantTable(h *hv.Hypervisor, guestVM *hv.VM, guestK *kernel.Kernel) (*grant.Table, error) {
+	gpa, err := guestK.AllocFrame()
+	if err != nil {
+		return nil, err
+	}
+	if err := h.RegisterGrantTable(guestVM, gpa); err != nil {
+		return nil, err
+	}
+	return grant.NewTable(&grant.GuestAccessor{Space: guestVM.Space, GPA: gpa}), nil
+}

@@ -1,0 +1,354 @@
+package cvd
+
+import (
+	"paradice/internal/devfile"
+	"paradice/internal/grant"
+	"paradice/internal/hv"
+	"paradice/internal/ioctlan"
+	"paradice/internal/kernel"
+	"paradice/internal/mem"
+	"paradice/internal/perf"
+	"paradice/internal/sim"
+)
+
+// Frontend is the CVD frontend: it implements kernel.FileOps for a virtual
+// device file in the guest, declaring each operation's legitimate memory
+// operations in the guest's grant table and forwarding the operation through
+// the shared ring page to the backend.
+type Frontend struct {
+	hv       *hv.Hypervisor
+	guestVM  *hv.VM
+	driverVM *hv.VM
+	guestK   *kernel.Kernel
+	mode     Mode
+	window   sim.Duration
+	ring     page
+	grants   *grant.Table
+	specs    map[devfile.IoctlCmd]*ioctlan.CmdSpec
+
+	respEvents   [slotCount]*sim.Event
+	nextFileID   uint16
+	nextSeq      uint32
+	ringGPA      mem.GuestPhys
+	vecToBackend int
+	vecResp      int
+	vecNotif     int
+	pollWQ       *kernel.WaitQueue
+	fasyncFiles  []*kernel.File
+	backend      *Backend
+
+	// Stats for tests and benches.
+	RoundTrips uint64
+	Rejected   uint64 // posts rejected because the queue was full
+}
+
+var _ kernel.FileOps = (*Frontend)(nil)
+
+// vmaState is the frontend's per-mapping bookkeeping: the long-lived map
+// grant (faults arrive after the mmap call returns) and the backend file
+// instance.
+type vmaState struct {
+	ref    uint32
+	fileID uint16
+}
+
+func devfileFlags(v uint64) devfile.OpenFlags { return devfile.OpenFlags(v) }
+func devfileCmd(v uint64) devfile.IoctlCmd    { return devfile.IoctlCmd(v) }
+
+func (fe *Frontend) fileID(c *kernel.FopCtx) uint16 {
+	id, _ := c.File.Priv.(uint16)
+	return id
+}
+
+// kickBackend makes the backend notice a newly posted slot: a shared-page
+// observation if it is spinning, an inter-VM interrupt otherwise.
+func (fe *Frontend) kickBackend() {
+	if fe.ring.readU32(hdrBackendPoll) == 1 {
+		fe.backend.PolledPosts++
+		fe.hv.Env.After(perf.CostPollCross, fe.backend.doorbell.Trigger)
+		return
+	}
+	fe.hv.SendInterrupt(fe.driverVM, fe.vecToBackend)
+}
+
+// scanDone fires the response event of every completed slot. It runs from
+// the response ISR (interrupt mode) or as the spinning requester's page
+// observation (polling mode).
+func (fe *Frontend) scanDone() {
+	for s := 0; s < slotCount; s++ {
+		if fe.ring.slotState(s) == slotDone {
+			fe.respEvents[s].Trigger()
+		}
+	}
+}
+
+// handleNotifs dispatches backend notifications: poll wake-ups re-evaluate
+// pending polls; SIGIO notifications deliver the signal to every guest
+// process that armed fasync on this device (§5.1's asynchronous
+// notification path).
+func (fe *Frontend) handleNotifs() {
+	bits := fe.ring.takeNotifs()
+	if bits&notifPollWake != 0 {
+		fe.pollWQ.Wake()
+	}
+	if bits&notifSIGIO != 0 {
+		for _, f := range fe.fasyncFiles {
+			if f.FasyncOn {
+				f.Proc.DeliverSIGIO()
+			}
+		}
+	}
+}
+
+// slotClaimed reserves a slot between allocation and posting.
+const slotClaimed = 4
+
+func (fe *Frontend) allocSlot() (int, bool) {
+	for s := 0; s < slotCount; s++ {
+		if fe.ring.slotState(s) == slotFree {
+			fe.ring.setSlotState(s, slotClaimed)
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// roundTrip forwards one file operation and waits for its response.
+func (fe *Frontend) roundTrip(t *kernel.Task, r request) (int32, kernel.Errno) {
+	slot, ok := fe.allocSlot()
+	if !ok {
+		// All 100 queue slots in use: the DoS cap of §5.1.
+		fe.Rejected++
+		return -1, kernel.EBUSY
+	}
+	r.slot = slot
+	r.seq = fe.nextSeq
+	fe.nextSeq++
+	ev := fe.respEvents[slot]
+	ev.Reset()
+	t.Sim().Advance(perf.CostPost)
+	fe.ring.writeRequest(slot, r)
+	fe.kickBackend()
+	if fe.mode == Polling && fe.window > 0 {
+		fe.ring.writeU32(hdrFrontendPoll, fe.ring.readU32(hdrFrontendPoll)+1)
+		woken := t.Sim().WaitTimeout(ev, fe.window)
+		fe.ring.writeU32(hdrFrontendPoll, fe.ring.readU32(hdrFrontendPoll)-1)
+		if !woken {
+			t.Sim().Wait(ev)
+		}
+	} else {
+		t.Sim().Wait(ev)
+	}
+	t.Sim().Advance(perf.CostComplete)
+	ret, errno := fe.ring.readResponse(slot)
+	fe.ring.setSlotState(slot, slotFree)
+	fe.RoundTrips++
+	return ret, kernel.Errno(errno)
+}
+
+// declare writes a grant set for the issuing process and charges the
+// per-entry declaration cost. Empty op lists yield reference 0 (no grant).
+func (fe *Frontend) declare(c *kernel.FopCtx, ops []grant.Op) (uint32, error) {
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	perf.Charge(fe.guestK.Env, sim.Duration(len(ops))*perf.CostGrantDeclare)
+	return fe.grants.Declare(c.Task.Proc.PT.Root(), ops)
+}
+
+func errOr[T any](v T, e kernel.Errno) (T, error) {
+	if e != 0 {
+		return v, e
+	}
+	return v, nil
+}
+
+// Open implements kernel.FileOps.
+func (fe *Frontend) Open(c *kernel.FopCtx) error {
+	id := fe.nextFileID
+	fe.nextFileID++
+	_, errno := fe.roundTrip(c.Task, request{op: opOpen, fileID: id, arg0: uint64(c.File.Flags)})
+	if errno != 0 {
+		return errno
+	}
+	c.File.Priv = id
+	return nil
+}
+
+// Release implements kernel.FileOps.
+func (fe *Frontend) Release(c *kernel.FopCtx) error {
+	id := fe.fileID(c)
+	for i, f := range fe.fasyncFiles {
+		if f == c.File {
+			fe.fasyncFiles = append(fe.fasyncFiles[:i], fe.fasyncFiles[i+1:]...)
+			break
+		}
+	}
+	_, errno := fe.roundTrip(c.Task, request{op: opRelease, fileID: id})
+	return errOrNil(errno)
+}
+
+func errOrNil(e kernel.Errno) error {
+	if e != 0 {
+		return e
+	}
+	return nil
+}
+
+// Read implements kernel.FileOps: the read arguments directly identify the
+// one legitimate memory operation (§4.1).
+func (fe *Frontend) Read(c *kernel.FopCtx, dst mem.GuestVirt, n int) (int, error) {
+	var ref uint32
+	if n > 0 {
+		var err error
+		ref, err = fe.declare(c, []grant.Op{{Kind: grant.KindCopyTo, VA: dst, Len: uint64(n)}})
+		if err != nil {
+			return 0, kernel.ENOMEM
+		}
+		defer fe.grants.Revoke(ref)
+	}
+	ret, errno := fe.roundTrip(c.Task, request{op: opRead, fileID: fe.fileID(c), ref: ref, arg0: uint64(dst), arg1: uint64(n)})
+	return errOr(int(ret), errno)
+}
+
+// Write implements kernel.FileOps.
+func (fe *Frontend) Write(c *kernel.FopCtx, src mem.GuestVirt, n int) (int, error) {
+	var ref uint32
+	if n > 0 {
+		var err error
+		ref, err = fe.declare(c, []grant.Op{{Kind: grant.KindCopyFrom, VA: src, Len: uint64(n)}})
+		if err != nil {
+			return 0, kernel.ENOMEM
+		}
+		defer fe.grants.Revoke(ref)
+	}
+	ret, errno := fe.roundTrip(c.Task, request{op: opWrite, fileID: fe.fileID(c), ref: ref, arg0: uint64(src), arg1: uint64(n)})
+	return errOr(int(ret), errno)
+}
+
+// userReader lets just-in-time slice execution read the issuing process's
+// memory (§4.1: the frontend executes the extracted code at runtime).
+type userReader struct{ c *kernel.FopCtx }
+
+func (r userReader) ReadUser(va mem.GuestVirt, buf []byte) error {
+	return r.c.Task.Proc.UserRead(r.c.Task, va, buf)
+}
+
+// Ioctl implements kernel.FileOps: memory operations come from the
+// analyzer's command spec when one is registered (static entries, or
+// just-in-time slice execution for nested copies), falling back to the
+// command-number macros.
+func (fe *Frontend) Ioctl(c *kernel.FopCtx, cmd devfile.IoctlCmd, arg mem.GuestVirt) (int32, error) {
+	var ops []grant.Op
+	if spec, ok := fe.specs[cmd]; ok {
+		var err error
+		ops, err = spec.Ops(uint64(arg), userReader{c})
+		if err != nil {
+			return -1, kernel.EFAULT
+		}
+	} else {
+		ops = ioctlan.MacroOps(cmd, uint64(arg))
+	}
+	ref, err := fe.declare(c, ops)
+	if err != nil {
+		return -1, kernel.ENOMEM
+	}
+	if ref != 0 {
+		defer fe.grants.Revoke(ref)
+	}
+	ret, errno := fe.roundTrip(c.Task, request{op: opIoctl, fileID: fe.fileID(c), ref: ref, arg0: uint64(cmd), arg1: uint64(arg)})
+	return errOr(ret, errno)
+}
+
+// Mmap implements kernel.FileOps: the frontend pre-creates all page-table
+// levels except the last for the mapping range, declares a long-lived map
+// grant covering it, and forwards the operation (§5.2).
+func (fe *Frontend) Mmap(c *kernel.FopCtx, v *kernel.VMA) error {
+	if v.Start == 0 {
+		// The kernel did not pass the VA range (unpatched FreeBSD, §5.1);
+		// the Linux driver behind the boundary cannot work without it.
+		return kernel.EINVAL
+	}
+	for off := uint64(0); off < v.Len; off += mem.PageSize {
+		if err := v.Proc.PT.EnsureIntermediates(v.Start + mem.GuestVirt(off)); err != nil {
+			return kernel.ENOMEM
+		}
+	}
+	ref, err := fe.declare(c, []grant.Op{{Kind: grant.KindMapPage, VA: v.Start, Len: v.Len}})
+	if err != nil {
+		return kernel.ENOMEM
+	}
+	id := fe.fileID(c)
+	_, errno := fe.roundTrip(c.Task, request{op: opMmap, fileID: id, ref: ref,
+		arg0: uint64(v.Start), arg1: v.Len, arg2: v.Pgoff})
+	if errno != 0 {
+		fe.grants.Revoke(ref)
+		return errno
+	}
+	v.Private = vmaState{ref: ref, fileID: id}
+	v.OnUnmap = fe.onUnmap
+	return nil
+}
+
+// onUnmap runs when the guest process unmaps: the guest kernel clears its
+// own page-table leaves first, then the unmap is forwarded so the driver is
+// informed and the hypervisor destroys the EPT entries; finally the map
+// grant is revoked.
+func (fe *Frontend) onUnmap(c *kernel.FopCtx, v *kernel.VMA) error {
+	st, _ := v.Private.(vmaState)
+	for off := uint64(0); off < v.Len; off += mem.PageSize {
+		va := v.Start + mem.GuestVirt(off)
+		if v.Proc.PT.Mapped(va) {
+			if err := v.Proc.PT.Unmap(va); err != nil {
+				return err
+			}
+		}
+	}
+	_, errno := fe.roundTrip(c.Task, request{op: opMunmap, fileID: st.fileID, ref: st.ref, arg0: uint64(v.Start)})
+	fe.grants.Revoke(st.ref)
+	return errOrNil(errno)
+}
+
+// Fault implements kernel.FileOps: a page fault in a forwarded mapping is
+// itself forwarded, under the mapping's long-lived grant.
+func (fe *Frontend) Fault(c *kernel.FopCtx, v *kernel.VMA, va mem.GuestVirt) error {
+	st, ok := v.Private.(vmaState)
+	if !ok {
+		return kernel.EFAULT
+	}
+	_, errno := fe.roundTrip(c.Task, request{op: opFault, fileID: st.fileID, ref: st.ref,
+		arg0: uint64(va), arg1: uint64(v.Start)})
+	return errOrNil(errno)
+}
+
+// Poll implements kernel.FileOps: the mask query is forwarded; if nothing
+// is ready the backend arms a poll-wake notification, which wakes the
+// frontend's local wait queue and makes the guest kernel re-query.
+func (fe *Frontend) Poll(c *kernel.FopCtx, pt *kernel.PollTable) devfile.PollMask {
+	pt.Register(fe.pollWQ)
+	want := pt.Want
+	if want == 0 {
+		want = devfile.PollIn | devfile.PollOut
+	}
+	ret, errno := fe.roundTrip(c.Task, request{op: opPoll, fileID: fe.fileID(c), arg0: uint64(want)})
+	if errno != 0 {
+		return devfile.PollErr
+	}
+	return devfile.PollMask(ret)
+}
+
+// Fasync implements kernel.FileOps.
+func (fe *Frontend) Fasync(c *kernel.FopCtx, on bool) error {
+	var v uint64
+	if on {
+		v = 1
+	}
+	_, errno := fe.roundTrip(c.Task, request{op: opFasync, fileID: fe.fileID(c), arg0: v})
+	if errno != 0 {
+		return errno
+	}
+	if on {
+		fe.fasyncFiles = append(fe.fasyncFiles, c.File)
+	}
+	return nil
+}

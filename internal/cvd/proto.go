@@ -1,0 +1,185 @@
+// Package cvd implements Paradice's Common Virtual Driver — the single pair
+// of paravirtual drivers that serves every device class (§3.2.1). The
+// frontend lives in a guest VM kernel and exposes a virtual device file; the
+// backend lives in the driver VM kernel and replays forwarded file
+// operations against the real driver. They communicate through a real
+// shared memory page (the ring) and inter-VM interrupts, with an optional
+// polling mode for high-performance workloads (§5.1).
+//
+// Before forwarding an operation, the frontend declares the operation's
+// legitimate memory operations in the guest's grant table — derived from the
+// file operation's own arguments, from the ioctl command-number macros, or
+// from the analyzer's extracted slices (§4.1) — and the backend attaches the
+// grant reference to every hypervisor memory-operation request it makes on
+// the driver's behalf.
+package cvd
+
+import (
+	"encoding/binary"
+
+	"paradice/internal/grant"
+)
+
+// Op codes of forwarded file operations.
+const (
+	opNone    = 0
+	opOpen    = 1
+	opRelease = 2
+	opRead    = 3
+	opWrite   = 4
+	opIoctl   = 5
+	opMmap    = 6
+	opMunmap  = 7
+	opFault   = 8
+	opPoll    = 9
+	opFasync  = 10
+)
+
+// Slot states.
+const (
+	slotFree    = 0
+	slotPosted  = 1
+	slotRunning = 2
+	slotDone    = 3
+)
+
+// Ring page layout: a 96-byte header followed by 100 40-byte slots — the
+// paper's cap of 100 queued operations per guest VM falls out of the slot
+// count.
+const (
+	hdrPostSeq      = 0  // u32: monotonically increasing post counter
+	hdrBackendPoll  = 4  // u32: backend is spinning on the page
+	hdrFrontendPoll = 8  // u32: count of requesters spinning for responses
+	hdrNotifBits    = 12 // u32: pending notification bits
+	hdrSize         = 96
+
+	slotSize  = 40
+	slotCount = 100
+
+	// Slot field offsets.
+	sState = 0  // u32
+	sOp    = 4  // u8
+	sFile  = 6  // u16: frontend-assigned file instance id
+	sRef   = 8  // u32: grant reference (0 = none)
+	sSeq   = 12 // u32: FIFO sequence
+	sArg0  = 16 // u64
+	sArg1  = 24 // u64
+	sRet   = 32 // i32 (response)
+	sErrno = 36 // i32 (response)
+)
+
+// Notification bits (backend -> frontend).
+const (
+	notifPollWake = 1 << 0 // a driver wait queue woke; re-evaluate poll
+	notifSIGIO    = 1 << 1 // kill_fasync fired; deliver SIGIO
+)
+
+// page wraps a grant.Accessor (either side's view of the shared frame) with
+// typed field access. All channel state crosses the VM boundary through
+// these bytes and nothing else.
+type page struct {
+	acc grant.Accessor
+}
+
+func (p page) readU32(off int) uint32 {
+	var b [4]byte
+	if err := p.acc.ReadAt(off, b[:]); err != nil {
+		panic("cvd: ring page inaccessible: " + err.Error())
+	}
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (p page) writeU32(off int, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if err := p.acc.WriteAt(off, b[:]); err != nil {
+		panic("cvd: ring page inaccessible: " + err.Error())
+	}
+}
+
+func (p page) readU64(off int) uint64 {
+	var b [8]byte
+	if err := p.acc.ReadAt(off, b[:]); err != nil {
+		panic("cvd: ring page inaccessible: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (p page) writeU64(off int, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	if err := p.acc.WriteAt(off, b[:]); err != nil {
+		panic("cvd: ring page inaccessible: " + err.Error())
+	}
+}
+
+func slotOff(slot int) int { return hdrSize + slot*slotSize }
+
+// request is a decoded slot request.
+type request struct {
+	slot   int
+	op     uint8
+	fileID uint16
+	ref    uint32
+	seq    uint32
+	arg0   uint64
+	arg1   uint64
+	arg2   uint64 // request reuse of the sRet field
+}
+
+func (p page) writeRequest(slot int, r request) {
+	base := slotOff(slot)
+	p.writeU32(base+sOp, uint32(r.op)|uint32(r.fileID)<<16)
+	p.writeU32(base+sRef, r.ref)
+	p.writeU32(base+sSeq, r.seq)
+	p.writeU64(base+sArg0, r.arg0)
+	p.writeU64(base+sArg1, r.arg1)
+	p.writeU64(base+sRet, r.arg2)
+	p.writeU32(base+sState, slotPosted)
+}
+
+func (p page) readRequest(slot int) request {
+	base := slotOff(slot)
+	opFile := p.readU32(base + sOp)
+	return request{
+		slot:   slot,
+		op:     uint8(opFile),
+		fileID: uint16(opFile >> 16),
+		ref:    p.readU32(base + sRef),
+		seq:    p.readU32(base + sSeq),
+		arg0:   p.readU64(base + sArg0),
+		arg1:   p.readU64(base + sArg1),
+		arg2:   p.readU64(base + sRet),
+	}
+}
+
+func (p page) writeResponse(slot int, ret int32, errno int32) {
+	base := slotOff(slot)
+	p.writeU32(base+sRet, uint32(ret))
+	p.writeU32(base+sErrno, uint32(errno))
+	p.writeU32(base+sState, slotDone)
+}
+
+func (p page) readResponse(slot int) (ret int32, errno int32) {
+	base := slotOff(slot)
+	return int32(p.readU32(base + sRet)), int32(p.readU32(base + sErrno))
+}
+
+func (p page) slotState(slot int) uint32 { return p.readU32(slotOff(slot) + sState) }
+func (p page) setSlotState(slot int, st uint32) {
+	p.writeU32(slotOff(slot)+sState, st)
+}
+
+// postNotif ORs bits into the pending-notification field.
+func (p page) postNotif(bits uint32) {
+	p.writeU32(hdrNotifBits, p.readU32(hdrNotifBits)|bits)
+}
+
+// takeNotifs reads and clears the pending-notification bits.
+func (p page) takeNotifs() uint32 {
+	bits := p.readU32(hdrNotifBits)
+	if bits != 0 {
+		p.writeU32(hdrNotifBits, 0)
+	}
+	return bits
+}

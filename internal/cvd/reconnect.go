@@ -1,0 +1,64 @@
+package cvd
+
+import (
+	"fmt"
+
+	"paradice/internal/hv"
+	"paradice/internal/kernel"
+)
+
+// Driver VM restart support (§8): "a malicious guest VM can break the
+// device ... One possible solution is to detect the broken device and
+// restart it by simply restarting the driver VM." The frontends — guest
+// state — survive; the backends die with the driver VM and are rebuilt
+// against the new one.
+
+// Stop terminates the backend's dispatcher; in-flight handler threads may
+// still complete, but no new operations are accepted. Part of driver VM
+// teardown.
+func (b *Backend) Stop() {
+	b.stopped = true
+	b.doorbell.Trigger()
+}
+
+// Reconnect binds an existing frontend to a freshly booted driver VM: the
+// guest's ring page is shared into the new VM, a new backend dispatcher
+// starts there, and any operations that were in flight when the old driver
+// VM died are failed with EREMOTE so their issuers unblock. Guest file
+// descriptors opened before the restart are invalid afterwards (the new
+// driver has no state for them); applications reopen the device, exactly
+// as after a real driver VM restart.
+func Reconnect(fe *Frontend, h *hv.Hypervisor, driverVM *hv.VM, driverK *kernel.Kernel, devicePath string) (*Backend, error) {
+	node, ok := driverK.LookupDevice(devicePath)
+	if !ok {
+		return nil, fmt.Errorf("cvd: no device %s in restarted %s", devicePath, driverK.Name)
+	}
+	beGPA, err := h.SharePage(fe.guestVM, fe.ringGPA, driverVM)
+	if err != nil {
+		return nil, err
+	}
+	vecToBackend := driverVM.AllocVector()
+	be, err := newBackend(h, driverVM, fe.guestVM, driverK, node,
+		beGPA, fe.mode, fe.window, vecToBackend, fe.vecResp, fe.vecNotif)
+	if err != nil {
+		return nil, err
+	}
+	be.frontendDoorbell = fe.scanDone
+	fe.driverVM = driverVM
+	fe.vecToBackend = vecToBackend
+	fe.backend = be
+	fe.failInflight()
+	return be, nil
+}
+
+// failInflight completes every non-free slot with EREMOTE and wakes its
+// waiter — requests the dead driver VM will never answer.
+func (fe *Frontend) failInflight() {
+	for s := 0; s < slotCount; s++ {
+		switch fe.ring.slotState(s) {
+		case slotPosted, slotRunning:
+			fe.ring.writeResponse(s, -1, int32(kernel.EREMOTE))
+			fe.respEvents[s].Trigger()
+		}
+	}
+}

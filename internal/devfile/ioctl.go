@@ -1,0 +1,100 @@
+// Package devfile defines the device-file vocabulary shared by the guest
+// kernels, the device drivers, the CVD paravirtual drivers, and the ioctl
+// analyzer: ioctl command-number encoding, poll event masks, and file-open
+// flags.
+//
+// The ioctl encoding mirrors the Linux _IO/_IOR/_IOW/_IOWR macros. Paradice
+// leans on this encoding (§4.1): because drivers build command numbers with
+// these macros, the CVD frontend can recover the direction and size of the
+// commonest ioctl memory operations from the command number alone.
+package devfile
+
+import "fmt"
+
+// IoctlCmd is an encoded ioctl command number.
+type IoctlCmd uint32
+
+// Direction bits of an ioctl command (who writes, from the kernel's view).
+type IoctlDir uint8
+
+// Ioctl directions.
+const (
+	DirNone  IoctlDir = 0
+	DirWrite IoctlDir = 1 // userspace writes, kernel reads (copy_from_user)
+	DirRead  IoctlDir = 2 // kernel writes, userspace reads (copy_to_user)
+	DirRW    IoctlDir = DirWrite | DirRead
+)
+
+// Field widths of the encoding, matching asm-generic/ioctl.h.
+const (
+	nrBits   = 8
+	typeBits = 8
+	sizeBits = 14
+	dirBits  = 2
+
+	nrShift   = 0
+	typeShift = nrShift + nrBits
+	sizeShift = typeShift + typeBits
+	dirShift  = sizeShift + sizeBits
+
+	maxSize = 1<<sizeBits - 1
+)
+
+// IO encodes a command with no argument payload.
+func IO(typ byte, nr uint8) IoctlCmd { return ioc(DirNone, typ, nr, 0) }
+
+// IOR encodes a command whose payload the kernel copies out to userspace.
+func IOR(typ byte, nr uint8, size uint32) IoctlCmd { return ioc(DirRead, typ, nr, size) }
+
+// IOW encodes a command whose payload the kernel copies in from userspace.
+func IOW(typ byte, nr uint8, size uint32) IoctlCmd { return ioc(DirWrite, typ, nr, size) }
+
+// IOWR encodes a command copied in, then out.
+func IOWR(typ byte, nr uint8, size uint32) IoctlCmd { return ioc(DirRW, typ, nr, size) }
+
+func ioc(dir IoctlDir, typ byte, nr uint8, size uint32) IoctlCmd {
+	if size > maxSize {
+		panic(fmt.Sprintf("devfile: ioctl payload %d exceeds %d bytes", size, maxSize))
+	}
+	return IoctlCmd(uint32(dir)<<dirShift | size<<sizeShift |
+		uint32(typ)<<typeShift | uint32(nr)<<nrShift)
+}
+
+// Dir returns the direction encoded in the command.
+func (c IoctlCmd) Dir() IoctlDir { return IoctlDir(c >> dirShift & (1<<dirBits - 1)) }
+
+// Size returns the payload size encoded in the command.
+func (c IoctlCmd) Size() uint32 { return uint32(c) >> sizeShift & maxSize }
+
+// Type returns the driver's magic byte.
+func (c IoctlCmd) Type() byte { return byte(c >> typeShift) }
+
+// Nr returns the per-driver command number.
+func (c IoctlCmd) Nr() uint8 { return uint8(c >> nrShift) }
+
+func (c IoctlCmd) String() string {
+	dir := [...]string{"_IO", "_IOW", "_IOR", "_IOWR"}[c.Dir()]
+	return fmt.Sprintf("%s('%c',%#x,%d)", dir, c.Type(), c.Nr(), c.Size())
+}
+
+// PollMask is the event set returned by a driver's poll handler.
+type PollMask uint16
+
+// Poll events.
+const (
+	PollIn  PollMask = 0x0001 // readable / events available
+	PollOut PollMask = 0x0004 // writable / ring space available
+	PollErr PollMask = 0x0008
+	PollHup PollMask = 0x0010
+)
+
+// OpenFlags are file-open flags.
+type OpenFlags uint32
+
+// Open flags.
+const (
+	ORdOnly   OpenFlags = 0
+	OWrOnly   OpenFlags = 1
+	ORdWr     OpenFlags = 2
+	ONonblock OpenFlags = 0x800
+)

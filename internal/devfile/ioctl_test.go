@@ -1,0 +1,81 @@
+package devfile
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIoctlEncodeDecode(t *testing.T) {
+	c := IOWR('d', 0x26, 48)
+	if c.Dir() != DirRW {
+		t.Errorf("Dir = %v, want DirRW", c.Dir())
+	}
+	if c.Size() != 48 {
+		t.Errorf("Size = %d, want 48", c.Size())
+	}
+	if c.Type() != 'd' {
+		t.Errorf("Type = %c, want d", c.Type())
+	}
+	if c.Nr() != 0x26 {
+		t.Errorf("Nr = %#x, want 0x26", c.Nr())
+	}
+}
+
+func TestIoctlDirections(t *testing.T) {
+	if IO('x', 1).Dir() != DirNone {
+		t.Error("IO should have DirNone")
+	}
+	if IOR('x', 1, 8).Dir() != DirRead {
+		t.Error("IOR should have DirRead")
+	}
+	if IOW('x', 1, 8).Dir() != DirWrite {
+		t.Error("IOW should have DirWrite")
+	}
+	if IO('x', 1).Size() != 0 {
+		t.Error("IO size should be 0")
+	}
+}
+
+func TestIoctlOversizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversize payload did not panic")
+		}
+	}()
+	IOW('x', 1, 1<<14)
+}
+
+// Property: encode/decode is lossless for all valid inputs.
+func TestPropertyIoctlRoundtrip(t *testing.T) {
+	f := func(typ byte, nr uint8, size uint16, dirRaw uint8) bool {
+		size &= maxSize
+		dir := IoctlDir(dirRaw & 3)
+		c := ioc(dir, typ, nr, uint32(size))
+		return c.Dir() == dir && c.Size() == uint32(size) &&
+			c.Type() == typ && c.Nr() == nr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIoctlDistinct(t *testing.T) {
+	// Commands differing only in nr must be distinct — the CVD frontend
+	// keys its analyzer tables on the full command number.
+	seen := map[IoctlCmd]bool{}
+	for nr := uint8(0); nr < 100; nr++ {
+		c := IOWR('d', nr, 32)
+		if seen[c] {
+			t.Fatalf("duplicate command for nr %d", nr)
+		}
+		seen[c] = true
+	}
+}
+
+func TestIoctlString(t *testing.T) {
+	got := IOW('d', 2, 16).String()
+	want := "_IOW('d',0x2,16)"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

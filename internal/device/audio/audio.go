@@ -1,0 +1,128 @@
+// Package audio simulates an HD Audio controller codec — the Intel Panther
+// Point of the paper's Table 1. It consumes PCM samples from a DMA ring at
+// exactly the configured sample rate, so playback of a fixed-length file
+// takes the same wall-clock time in every configuration (§6.1.6).
+package audio
+
+import (
+	"paradice/internal/iommu"
+	"paradice/internal/sim"
+)
+
+// Device is the codec.
+type Device struct {
+	env *sim.Env
+	dma *iommu.DMA
+
+	rate     int // frames per second
+	frameSz  int // bytes per frame (channels * sample size)
+	running  bool
+	ring     []iommu.BusAddr // page-chunk scatter list of the DMA buffer
+	ringSize int
+	rd       int // codec read offset into the ring
+	level    int // bytes buffered
+
+	// onDrain notifies the driver that ring space freed up.
+	onDrain func()
+
+	// FramesPlayed counts consumed PCM frames; Checksum folds sample bytes.
+	FramesPlayed uint64
+	Checksum     uint32
+	// Underruns counts periods where the ring ran dry.
+	Underruns uint64
+}
+
+// New creates the codec with CD-quality defaults.
+func New(env *sim.Env) *Device {
+	return &Device{env: env, rate: 48000, frameSz: 4}
+}
+
+// Connect attaches the DMA path.
+func (d *Device) Connect(dma *iommu.DMA) { d.dma = dma }
+
+// Reset stops playback and detaches the device (driver VM restart, §8).
+func (d *Device) Reset() {
+	d.running = false
+	d.level = 0
+	d.dma = nil
+	d.onDrain = nil
+}
+
+// OnDrain registers the driver's space-available callback.
+func (d *Device) OnDrain(fn func()) { d.onDrain = fn }
+
+// Configure sets the stream parameters and the DMA ring.
+func (d *Device) Configure(rate, frameSz int, ring []iommu.BusAddr, ringSize int) {
+	d.rate, d.frameSz = rate, frameSz
+	d.ring, d.ringSize = ring, ringSize
+	d.rd, d.level = 0, 0
+}
+
+// Rate returns the configured sample rate.
+func (d *Device) Rate() int { return d.rate }
+
+// FrameBytes returns bytes per PCM frame.
+func (d *Device) FrameBytes() int { return d.frameSz }
+
+// BufferLevel returns the bytes currently queued.
+func (d *Device) BufferLevel() int { return d.level }
+
+// RingSize returns the DMA ring capacity in bytes.
+func (d *Device) RingSize() int { return d.ringSize }
+
+// Feed tells the codec n more bytes are available in the ring.
+func (d *Device) Feed(n int) {
+	d.level += n
+	if !d.running {
+		d.running = true
+		d.env.After(d.periodDuration(), d.tick)
+	}
+}
+
+// periodBytes is the codec's service granularity: 1/100 s of audio.
+func (d *Device) periodBytes() int { return d.rate * d.frameSz / 100 }
+
+func (d *Device) periodDuration() sim.Duration { return 10 * sim.Millisecond }
+
+// tick consumes one period of samples from the ring in real time.
+func (d *Device) tick() {
+	if !d.running {
+		return
+	}
+	n := d.periodBytes()
+	if d.level < n {
+		if d.level == 0 {
+			d.running = false
+			d.Underruns++
+			return
+		}
+		n = d.level
+	}
+	d.consume(n)
+	d.level -= n
+	d.FramesPlayed += uint64(n / d.frameSz)
+	if d.onDrain != nil {
+		d.onDrain()
+	}
+	d.env.After(d.periodDuration(), d.tick)
+}
+
+// consume DMA-reads n bytes from the ring at the codec's read offset.
+func (d *Device) consume(n int) {
+	for n > 0 && d.dma != nil {
+		page := d.rd / 4096
+		off := d.rd % 4096
+		chunk := 4096 - off
+		if chunk > n {
+			chunk = n
+		}
+		buf := make([]byte, chunk)
+		if err := d.dma.Read(d.ring[page]+iommu.BusAddr(off), buf); err == nil {
+			for _, b := range buf {
+				d.Checksum = d.Checksum*31 + uint32(b)
+			}
+		}
+		d.rd = (d.rd + chunk) % d.ringSize
+		n -= chunk
+	}
+}

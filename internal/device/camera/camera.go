@@ -1,0 +1,150 @@
+// Package camera simulates a UVC webcam sensor — the Logitech C920 of the
+// paper's Table 1. When streaming, the sensor produces MJPG frames at its
+// fixed exposure rate (~29.5 fps, matching §6.1.6) and DMA-writes each into
+// the next queued buffer.
+package camera
+
+import (
+	"paradice/internal/iommu"
+	"paradice/internal/sim"
+)
+
+// FramePeriod is the sensor's frame interval: ~29.5 fps at every supported
+// resolution — the sensor, not the bus or host, is the bottleneck.
+const FramePeriod = 33900 * sim.Microsecond
+
+// Resolution is a supported capture mode.
+type Resolution struct{ W, H int }
+
+// Resolutions the paper tests (the camera's three highest for MJPG).
+var Resolutions = []Resolution{
+	{1280, 720},
+	{1600, 896},
+	{1920, 1080},
+}
+
+// queuedBuf describes where the next frame should land: a scatter list of
+// page-sized bus-address chunks.
+type queuedBuf struct {
+	index int
+	chunk []iommu.BusAddr
+	size  int
+}
+
+// Device is the sensor.
+type Device struct {
+	env *sim.Env
+	dma *iommu.DMA
+
+	streaming bool
+	res       Resolution
+	queue     []queuedBuf
+	seq       uint32
+	// onFrame notifies the driver a buffer was filled.
+	onFrame func(index int, seq uint32)
+
+	// Frames counts captured frames; DMAFaults counts rejected writes.
+	Frames    uint64
+	DMAFaults uint64
+}
+
+// New creates the sensor.
+func New(env *sim.Env) *Device {
+	return &Device{env: env, res: Resolutions[0]}
+}
+
+// Connect attaches the DMA path.
+func (d *Device) Connect(dma *iommu.DMA) { d.dma = dma }
+
+// Reset stops streaming and detaches the device (driver VM restart, §8).
+func (d *Device) Reset() {
+	d.StreamOff()
+	d.dma = nil
+	d.onFrame = nil
+}
+
+// OnFrame registers the driver's completion callback.
+func (d *Device) OnFrame(fn func(index int, seq uint32)) { d.onFrame = fn }
+
+// SetResolution selects a capture mode.
+func (d *Device) SetResolution(r Resolution) { d.res = r }
+
+// Resolution returns the current mode.
+func (d *Device) Resolution() Resolution { return d.res }
+
+// FrameBytes is the size of one captured MJPG frame (~2 bytes/pixel before
+// compression; we keep it uncompressed for determinism).
+func (d *Device) FrameBytes() int { return d.res.W * d.res.H * 2 }
+
+// QueueBuffer hands the sensor a buffer to fill, as a page-chunk scatter
+// list.
+func (d *Device) QueueBuffer(index int, chunks []iommu.BusAddr, size int) {
+	d.queue = append(d.queue, queuedBuf{index: index, chunk: chunks, size: size})
+}
+
+// StreamOn starts the exposure loop.
+func (d *Device) StreamOn() {
+	if d.streaming {
+		return
+	}
+	d.streaming = true
+	d.env.After(FramePeriod, d.tick)
+}
+
+// StreamOff stops capturing.
+func (d *Device) StreamOff() {
+	d.streaming = false
+	d.queue = nil
+}
+
+// tick captures one frame into the oldest queued buffer (dropping the frame
+// if none is queued, like real sensors) and re-arms.
+func (d *Device) tick() {
+	if !d.streaming {
+		return
+	}
+	if len(d.queue) > 0 && d.dma != nil {
+		b := d.queue[0]
+		d.queue = d.queue[1:]
+		d.seq++
+		d.fill(b)
+	}
+	d.env.After(FramePeriod, d.tick)
+}
+
+// fill DMA-writes the frame pattern: a repeating sequence keyed by the
+// frame number so consumers can verify content integrity.
+func (d *Device) fill(b queuedBuf) {
+	remaining := d.FrameBytes()
+	if remaining > b.size {
+		remaining = b.size
+	}
+	page := make([]byte, 4096)
+	for i := range page {
+		page[i] = byte(uint32(i) + d.seq)
+	}
+	for _, bus := range b.chunk {
+		if remaining <= 0 {
+			break
+		}
+		n := len(page)
+		if n > remaining {
+			n = remaining
+		}
+		if err := d.dma.Write(bus, page[:n]); err != nil {
+			d.DMAFaults++
+			return
+		}
+		remaining -= n
+	}
+	d.Frames++
+	if d.onFrame != nil {
+		d.onFrame(b.index, d.seq)
+	}
+}
+
+// FramePattern returns the expected byte at offset off of frame seq, for
+// consumers verifying frame integrity.
+func FramePattern(seq uint32, off int) byte {
+	return byte(uint32(off%4096) + seq)
+}

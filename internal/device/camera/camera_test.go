@@ -1,0 +1,138 @@
+package camera
+
+import (
+	"testing"
+
+	"paradice/internal/iommu"
+	"paradice/internal/mem"
+	"paradice/internal/sim"
+)
+
+func newRig(t testing.TB) (*Device, *sim.Env, *mem.PhysMem, []mem.SysPhys, []iommu.BusAddr) {
+	t.Helper()
+	env := sim.NewEnv()
+	phys := mem.NewPhysMem()
+	ram := phys.NewAllocator("ram", 0x1000_0000, 1024*mem.PageSize)
+	const pages = 512
+	base, err := ram.AllocPages(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom := iommu.NewDomain("cam")
+	if err := dom.MapRange(0x100000, base, pages, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	d := New(env)
+	d.Connect(&iommu.DMA{Dom: dom, Phys: phys})
+	spas := make([]mem.SysPhys, pages)
+	buses := make([]iommu.BusAddr, pages)
+	for i := range spas {
+		spas[i] = base + mem.SysPhys(i*mem.PageSize)
+		buses[i] = iommu.BusAddr(0x100000 + i*mem.PageSize)
+	}
+	return d, env, phys, spas, buses
+}
+
+func TestFrameRateIsSensorLimited(t *testing.T) {
+	d, env, _, _, buses := newRig(t)
+	frames := 0
+	var last sim.Time
+	d.OnFrame(func(index int, seq uint32) {
+		frames++
+		last = env.Now()
+		// Requeue immediately, like a streaming app.
+		d.QueueBuffer(index, buses[:450], d.FrameBytes())
+	})
+	d.QueueBuffer(0, buses[:450], d.FrameBytes())
+	d.StreamOn()
+	env.RunUntil(sim.Time(1 * sim.Second))
+	d.StreamOff()
+	// ~29.5 fps: 29 full frames in one second.
+	if frames < 28 || frames > 30 {
+		t.Fatalf("frames in 1s = %d, want ~29.5", frames)
+	}
+	if last == 0 {
+		t.Fatal("no frame timestamps")
+	}
+}
+
+func TestFrameDroppedWithoutBuffer(t *testing.T) {
+	d, env, _, _, buses := newRig(t)
+	got := 0
+	d.OnFrame(func(index int, seq uint32) { got++ })
+	d.QueueBuffer(0, buses[:450], d.FrameBytes())
+	d.StreamOn()
+	// One queued buffer, streaming for 10 frame periods: only 1 capture.
+	env.RunUntil(sim.Time(10 * FramePeriod))
+	d.StreamOff()
+	if got != 1 {
+		t.Fatalf("frames = %d, want 1 (rest dropped)", got)
+	}
+}
+
+func TestFramePatternWritten(t *testing.T) {
+	d, env, phys, spas, buses := newRig(t)
+	var seq uint32
+	d.OnFrame(func(index int, s uint32) { seq = s })
+	d.QueueBuffer(0, buses[:450], d.FrameBytes())
+	d.StreamOn()
+	env.RunUntil(sim.Time(2 * FramePeriod))
+	d.StreamOff()
+	if seq == 0 {
+		t.Fatal("no frame captured")
+	}
+	buf := make([]byte, 64)
+	if err := phys.Read(spas[0]+100, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != FramePattern(seq, 100+i) {
+			t.Fatalf("byte %d = %#x, want pattern %#x", i, b, FramePattern(seq, 100+i))
+		}
+	}
+}
+
+func TestResolutionsAndFrameBytes(t *testing.T) {
+	d, _, _, _, _ := newRig(t)
+	for _, r := range Resolutions {
+		d.SetResolution(r)
+		if d.FrameBytes() != r.W*r.H*2 {
+			t.Fatalf("%dx%d: FrameBytes = %d", r.W, r.H, d.FrameBytes())
+		}
+	}
+	if d.Resolution() != Resolutions[len(Resolutions)-1] {
+		t.Fatal("SetResolution did not stick")
+	}
+}
+
+func TestDMAFaultCounted(t *testing.T) {
+	d, env, _, _, _ := newRig(t)
+	d.QueueBuffer(0, []iommu.BusAddr{0xDEAD000}, 4096) // unmapped
+	d.StreamOn()
+	env.RunUntil(sim.Time(2 * FramePeriod))
+	d.StreamOff()
+	if d.DMAFaults == 0 {
+		t.Fatal("unmapped buffer capture did not fault")
+	}
+	if d.Frames != 0 {
+		t.Fatalf("frames = %d despite fault", d.Frames)
+	}
+}
+
+func TestStreamOffStopsTicks(t *testing.T) {
+	d, env, _, _, buses := newRig(t)
+	got := 0
+	d.OnFrame(func(index int, s uint32) {
+		got++
+		d.QueueBuffer(index, buses[:450], d.FrameBytes())
+	})
+	d.QueueBuffer(0, buses[:450], d.FrameBytes())
+	d.StreamOn()
+	env.RunUntil(sim.Time(3 * FramePeriod))
+	d.StreamOff()
+	before := got
+	env.RunUntil(env.Now().Add(10 * FramePeriod))
+	if got != before {
+		t.Fatalf("frames captured after StreamOff: %d -> %d", before, got)
+	}
+}

@@ -1,0 +1,305 @@
+package gpu
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"paradice/internal/iommu"
+	"paradice/internal/mem"
+	"paradice/internal/sim"
+)
+
+func newGPU(t testing.TB) (*GPU, *sim.Env, *mem.PhysMem) {
+	t.Helper()
+	env := sim.NewEnv()
+	phys := mem.NewPhysMem()
+	g := New(env, phys, 0x8_0000_0000, 64<<20)
+	return g, env, phys
+}
+
+func putF32(phys *mem.PhysMem, base mem.SysPhys, data []float32) error {
+	buf := make([]byte, len(data)*4)
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	return phys.Write(base, buf)
+}
+
+func getF32(phys *mem.PhysMem, base mem.SysPhys, n int) ([]float32, error) {
+	buf := make([]byte, n*4)
+	if err := phys.Read(base, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return out, nil
+}
+
+func TestComputeMatmulCorrect(t *testing.T) {
+	g, env, phys := newGPU(t)
+	const n = 8
+	if err := g.EnsureVRAM(0, 3*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float32, n*n)
+	b := make([]float32, n*n)
+	for i := range a {
+		a[i] = float32(i%7) * 0.5
+		b[i] = float32(i%5) * 0.25
+	}
+	if err := putF32(phys, g.VRAMBase(), a); err != nil {
+		t.Fatal(err)
+	}
+	if err := putF32(phys, g.VRAMBase()+mem.PageSize, b); err != nil {
+		t.Fatal(err)
+	}
+	g.Submit([]EngineCmd{Cmd(OpCompute, 0, mem.PageSize, 2*mem.PageSize, n)}, 1)
+	env.Run()
+	if g.FenceSeq() != 1 {
+		t.Fatalf("fence = %d", g.FenceSeq())
+	}
+	got, err := getF32(phys, g.VRAMBase()+2*mem.PageSize, n*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float32
+			for k := 0; k < n; k++ {
+				want += a[i*n+k] * b[k*n+j]
+			}
+			if d := want - got[i*n+j]; d > 1e-4 || d < -1e-4 {
+				t.Fatalf("C[%d,%d] = %f, want %f", i, j, got[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestComputeTimeModel(t *testing.T) {
+	g, env, _ := newGPU(t)
+	const n = 16
+	if err := g.EnsureVRAM(0, 3*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	g.Submit([]EngineCmd{Cmd(OpCompute, 0, mem.PageSize, 2*mem.PageSize, n)}, 1)
+	env.Run()
+	want := sim.Duration(n*n*n) * NsPerMulAdd
+	if got := env.Now().Sub(0); got < want {
+		t.Fatalf("compute finished at %v, want >= %v", got, want)
+	}
+}
+
+func TestDrawStampsTarget(t *testing.T) {
+	g, env, phys := newGPU(t)
+	if err := g.EnsureVRAM(0, 2*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	start := env.Now()
+	g.Submit([]EngineCmd{Cmd(OpDraw, mem.PageSize, ^uint64(0), 5_000_000)}, 1)
+	env.Run()
+	if e := env.Now().Sub(start); e < 5*sim.Millisecond {
+		t.Fatalf("draw of 5M cycles took %v, want >= 5ms", e)
+	}
+	var b [4]byte
+	if err := phys.Read(g.VRAMBase()+mem.PageSize, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint32(b[:]) == 0 {
+		t.Fatal("render target not stamped")
+	}
+}
+
+func TestMCBoundsBlockEngine(t *testing.T) {
+	g, env, _ := newGPU(t)
+	if err := g.EnsureVRAM(0, 8*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Restrict the window to the first 4 pages, then draw into page 6.
+	g.SetMCBounds(0, 4*mem.PageSize)
+	g.Submit([]EngineCmd{Cmd(OpDraw, 6*mem.PageSize, ^uint64(0), 1000)}, 1)
+	env.Run()
+	if g.Faults != 1 {
+		t.Fatalf("faults = %d, want 1", g.Faults)
+	}
+	// The fence still signals (command retired), matching real hardware's
+	// fault-and-continue behavior.
+	if g.FenceSeq() != 1 {
+		t.Fatalf("fence = %d after faulted draw", g.FenceSeq())
+	}
+}
+
+func TestCopyBetweenVRAMRegions(t *testing.T) {
+	g, env, phys := newGPU(t)
+	if err := g.EnsureVRAM(0, 4*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := phys.Write(g.VRAMBase(), []byte("blit me")); err != nil {
+		t.Fatal(err)
+	}
+	g.Submit([]EngineCmd{Cmd(OpCopy, 0, 2*mem.PageSize, 7)}, 1)
+	env.Run()
+	got := make([]byte, 7)
+	if err := phys.Read(g.VRAMBase()+2*mem.PageSize, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "blit me" {
+		t.Fatalf("copy result %q", got)
+	}
+}
+
+func TestCopyToSystemMemoryViaIOMMU(t *testing.T) {
+	g, env, phys := newGPU(t)
+	ram := phys.NewAllocator("ram", 0x1000_0000, 16*mem.PageSize)
+	sys, _ := ram.AllocPage()
+	dom := iommu.NewDomain("gpu")
+	if err := dom.MapRange(0x5000, sys, 1, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	g.Connect(&iommu.DMA{Dom: dom, Phys: phys}, nil)
+	if err := g.EnsureVRAM(0, mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := phys.Write(g.VRAMBase(), []byte("dma out")); err != nil {
+		t.Fatal(err)
+	}
+	g.Submit([]EngineCmd{Cmd(OpCopy, 0, BusFlag|0x5000, 7)}, 1)
+	env.Run()
+	got := make([]byte, 7)
+	if err := phys.Read(sys, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "dma out" {
+		t.Fatalf("system copy result %q", got)
+	}
+	// Outside the IOMMU mapping: fault, no transfer.
+	faults := g.Faults
+	g.Submit([]EngineCmd{Cmd(OpCopy, 0, BusFlag|0x9000, 7)}, 2)
+	env.Run()
+	if g.Faults != faults+1 {
+		t.Fatalf("unmapped DMA copy did not fault (faults=%d)", g.Faults)
+	}
+}
+
+func TestFenceInterruptAndReasonBuffer(t *testing.T) {
+	g, env, phys := newGPU(t)
+	ram := phys.NewAllocator("ram", 0x1000_0000, 16*mem.PageSize)
+	reason, _ := ram.AllocPage()
+	dom := iommu.NewDomain("gpu")
+	if err := dom.MapRange(0x7000, reason, 1, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	irqs := 0
+	g.Connect(&iommu.DMA{Dom: dom, Phys: phys}, func() { irqs++ })
+	g.SetIRQReasonBuffer(0x7000)
+	if err := g.EnsureVRAM(0, mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	g.Submit(nil, 5) // empty submission still fences
+	env.Run()
+	if irqs != 1 {
+		t.Fatalf("irqs = %d, want 1", irqs)
+	}
+	var b [4]byte
+	if err := phys.Read(reason, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if binary.LittleEndian.Uint32(b[:]) != IRQFence {
+		t.Fatalf("reason = %d, want fence", binary.LittleEndian.Uint32(b[:]))
+	}
+	if g.FenceSeq() != 5 {
+		t.Fatalf("fence register = %d", g.FenceSeq())
+	}
+}
+
+func TestEnsureVRAMBounds(t *testing.T) {
+	g, _, _ := newGPU(t)
+	if err := g.EnsureVRAM(g.VRAMSize()-mem.PageSize, mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.EnsureVRAM(g.VRAMSize(), mem.PageSize); err == nil {
+		t.Fatal("EnsureVRAM past the aperture succeeded")
+	}
+	if err := g.EnsureVRAM(^uint64(0)-100, 200); err == nil {
+		t.Fatal("overflowing EnsureVRAM succeeded")
+	}
+}
+
+func TestCommandsExecuteInOrder(t *testing.T) {
+	g, env, phys := newGPU(t)
+	if err := g.EnsureVRAM(0, 2*mem.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Copy A->B then B->C: order matters.
+	if err := phys.Write(g.VRAMBase(), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	g.Submit([]EngineCmd{
+		Cmd(OpCopy, 0, 64, 1),
+		Cmd(OpCopy, 64, 128, 1),
+	}, 1)
+	env.Run()
+	var b [1]byte
+	if err := phys.Read(g.VRAMBase()+128, b[:]); err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != 'x' {
+		t.Fatalf("chained copies out of order: %q", b[:])
+	}
+	if g.Executed != 2 {
+		t.Fatalf("executed = %d", g.Executed)
+	}
+}
+
+// Property: matmul against identity returns the original matrix.
+func TestPropertyMatmulIdentity(t *testing.T) {
+	f := func(raw []byte) bool {
+		const n = 4
+		g, env, phys := newGPU(t)
+		if err := g.EnsureVRAM(0, 3*mem.PageSize); err != nil {
+			return false
+		}
+		a := make([]float32, n*n)
+		for i := range a {
+			v := float32(1)
+			if i < len(raw) {
+				v = float32(raw[i]) / 16
+			}
+			a[i] = v
+		}
+		id := make([]float32, n*n)
+		for i := 0; i < n; i++ {
+			id[i*n+i] = 1
+		}
+		if putF32(phys, g.VRAMBase(), a) != nil || putF32(phys, g.VRAMBase()+mem.PageSize, id) != nil {
+			return false
+		}
+		g.Submit([]EngineCmd{Cmd(OpCompute, 0, mem.PageSize, 2*mem.PageSize, n)}, 1)
+		env.Run()
+		got, err := getF32(phys, g.VRAMBase()+2*mem.PageSize, n*n)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			if d := got[i] - a[i]; d > 1e-5 || d < -1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownOpcodeFaults(t *testing.T) {
+	g, env, _ := newGPU(t)
+	g.Submit([]EngineCmd{Cmd(99)}, 1)
+	env.Run()
+	if g.Faults != 1 {
+		t.Fatalf("faults = %d, want 1", g.Faults)
+	}
+}

@@ -1,0 +1,68 @@
+// Package input simulates USB HID input devices — the Dell mouse and
+// keyboard of the paper's Table 1. The device reports events to the driver
+// with the platform's interrupt delivery latency; the evdev driver fans
+// them out to readers.
+package input
+
+import (
+	"paradice/internal/sim"
+)
+
+// Event is one input event in the evdev wire format's fields.
+type Event struct {
+	Type  uint16 // 1 = key, 2 = relative motion
+	Code  uint16
+	Value int32
+	// At is the simulated time the event was reported to the driver.
+	At sim.Time
+}
+
+// Event types.
+const (
+	EvKey = 1
+	EvRel = 2
+)
+
+// Device is a mouse or keyboard.
+type Device struct {
+	env  *sim.Env
+	name string
+	// report delivers an event to the driver (set by the driver at attach).
+	report func(Event)
+	// irqLatency is charged between the hardware event and the driver
+	// seeing it: ~0 natively, the hypervisor routing cost in a VM.
+	irqLatency sim.Duration
+}
+
+// New creates an input device.
+func New(env *sim.Env, name string, irqLatency sim.Duration) *Device {
+	return &Device{env: env, name: name, irqLatency: irqLatency}
+}
+
+// OnReport registers the driver's event entry point.
+func (d *Device) OnReport(fn func(Event)) { d.report = fn }
+
+// Reset detaches the device from its driver (driver VM restart, §8);
+// events emitted before a new driver attaches are lost, as on hardware.
+func (d *Device) Reset() { d.report = nil }
+
+// Inject emits an event at the current time; the driver receives it after
+// the interrupt delivery latency.
+func (d *Device) Inject(typ, code uint16, value int32) {
+	d.env.After(d.irqLatency, func() {
+		if d.report != nil {
+			d.report(Event{Type: typ, Code: code, Value: value, At: d.env.Now()})
+		}
+	})
+}
+
+// InjectAt schedules an event for an absolute simulated time.
+func (d *Device) InjectAt(at sim.Time, typ, code uint16, value int32) {
+	d.env.At(at, func() {
+		d.env.After(d.irqLatency, func() {
+			if d.report != nil {
+				d.report(Event{Type: typ, Code: code, Value: value, At: d.env.Now()})
+			}
+		})
+	})
+}

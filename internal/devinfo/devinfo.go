@@ -1,0 +1,61 @@
+// Package devinfo implements Paradice's device info modules (§5.1): small
+// guest kernel modules that export the device information applications need
+// before they can use a device — PCI identity for the GPU's libraries, the
+// input device's capabilities, supported camera resolutions — plus the
+// virtual PCI bus the guests hang Paradice devices from. These are the only
+// per-class components a new device class needs, which is the crux of the
+// paper's low-engineering-effort claim (Table 1).
+package devinfo
+
+import (
+	"fmt"
+
+	"paradice/internal/device/camera"
+	"paradice/internal/kernel"
+)
+
+// InstallVirtualPCIBus creates the virtual PCI bus Paradice devices appear
+// on in the guest.
+func InstallVirtualPCIBus(k *kernel.Kernel) {
+	k.SetSysInfo("bus/pci0", "paradice-virtual-pci")
+}
+
+// InstallGPU exports the GPU's PCI identity and memory size, which
+// userspace (the X server, Mesa/Gallium) reads to pick its driver stack.
+func InstallGPU(k *kernel.Kernel, vendor, device uint32, vramBytes uint64) {
+	k.SetSysInfo("pci0/gpu/vendor", fmt.Sprintf("%#x", vendor))
+	k.SetSysInfo("pci0/gpu/device", fmt.Sprintf("%#x", device))
+	k.SetSysInfo("pci0/gpu/vram_bytes", fmt.Sprintf("%d", vramBytes))
+	k.SetSysInfo("pci0/gpu/driver", "radeon")
+}
+
+// InstallInput exports an input device's identity and event capabilities.
+func InstallInput(k *kernel.Kernel, path, name string, evBits uint32) {
+	k.SetSysInfo("input/"+path+"/name", name)
+	k.SetSysInfo("input/"+path+"/ev", fmt.Sprintf("%#x", evBits))
+}
+
+// InstallCamera exports the camera's supported capture modes.
+func InstallCamera(k *kernel.Kernel, path, name string) {
+	k.SetSysInfo("video/"+path+"/name", name)
+	modes := ""
+	for i, r := range camera.Resolutions {
+		if i > 0 {
+			modes += " "
+		}
+		modes += fmt.Sprintf("%dx%d", r.W, r.H)
+	}
+	k.SetSysInfo("video/"+path+"/modes", modes)
+}
+
+// InstallAudio exports the audio controller's identity and rate range.
+func InstallAudio(k *kernel.Kernel, path, name string) {
+	k.SetSysInfo("sound/"+path+"/name", name)
+	k.SetSysInfo("sound/"+path+"/rates", "8000-192000")
+}
+
+// InstallNetmapEthernet exports the netmap-capable interface's identity.
+func InstallNetmapEthernet(k *kernel.Kernel, ifname string) {
+	k.SetSysInfo("net/"+ifname+"/driver", "e1000e+netmap")
+	k.SetSysInfo("net/"+ifname+"/speed", "1000")
+}

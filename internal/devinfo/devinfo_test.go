@@ -1,0 +1,69 @@
+package devinfo
+
+import (
+	"strings"
+	"testing"
+
+	"paradice/internal/hv"
+	"paradice/internal/kernel"
+	"paradice/internal/sim"
+)
+
+func newKernel(t testing.TB) *kernel.Kernel {
+	t.Helper()
+	env := sim.NewEnv()
+	h := hv.New(env, 32<<20)
+	vm, err := h.CreateVM("g", 8<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kernel.New("g", kernel.Linux, env, vm.Space, 8<<20)
+}
+
+func TestGPUInfoExported(t *testing.T) {
+	k := newKernel(t)
+	InstallVirtualPCIBus(k)
+	InstallGPU(k, 0x1002, 0x6779, 1<<30)
+	if v, ok := k.SysInfo("pci0/gpu/vendor"); !ok || v != "0x1002" {
+		t.Fatalf("vendor = %q, %v", v, ok)
+	}
+	if v, ok := k.SysInfo("pci0/gpu/device"); !ok || v != "0x6779" {
+		t.Fatalf("device = %q, %v", v, ok)
+	}
+	if v, ok := k.SysInfo("pci0/gpu/driver"); !ok || v != "radeon" {
+		t.Fatalf("driver = %q, %v", v, ok)
+	}
+	if _, ok := k.SysInfo("bus/pci0"); !ok {
+		t.Fatal("virtual PCI bus missing")
+	}
+}
+
+func TestCameraModesListAllResolutions(t *testing.T) {
+	k := newKernel(t)
+	InstallCamera(k, "/dev/video0", "Logitech HD Pro Webcam C920")
+	modes, ok := k.SysInfo("video//dev/video0/modes")
+	if !ok {
+		t.Fatal("modes missing")
+	}
+	for _, want := range []string{"1280x720", "1600x896", "1920x1080"} {
+		if !strings.Contains(modes, want) {
+			t.Fatalf("modes %q missing %s", modes, want)
+		}
+	}
+}
+
+func TestOtherClasses(t *testing.T) {
+	k := newKernel(t)
+	InstallInput(k, "/dev/input/event0", "Dell USB Mouse", 6)
+	InstallAudio(k, "/dev/snd/pcmC0D0p", "Intel Panther Point")
+	InstallNetmapEthernet(k, "em0")
+	for _, key := range []string{
+		"input//dev/input/event0/name",
+		"sound//dev/snd/pcmC0D0p/rates",
+		"net/em0/driver",
+	} {
+		if _, ok := k.SysInfo(key); !ok {
+			t.Fatalf("missing %s", key)
+		}
+	}
+}

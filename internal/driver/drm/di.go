@@ -1,0 +1,166 @@
+package drm
+
+import (
+	"paradice/internal/device/gpu"
+	"paradice/internal/hv"
+	"paradice/internal/iommu"
+	"paradice/internal/kernel"
+	"paradice/internal/mem"
+)
+
+// This file is the reproduction of §5.3: the four sets of changes the paper
+// makes to the Radeon driver (~400 LoC) so it functions under
+// hypervisor-enforced device data isolation:
+//
+//  (i)  per-region page pools mapped into the IOMMU at initialization, with
+//       the hypervisor zeroing pages on unmap;
+//  (ii) per-region copies of device-managed buffers (the GPU address
+//       translation buffer), created device-read-only to emulate write-only
+//       CPU permissions (change iv);
+//  (iii) the memory-controller register page unmapped from the driver VM,
+//       with accesses going through a hypercall;
+//  (iv) interrupts other than fences disabled, every interrupt interpreted
+//       as a fence, because the interrupt-reason buffer would need a
+//       device-writable, driver-readable system page that isolation forbids.
+
+// regionState is the driver's bookkeeping for one guest VM's protected
+// memory region.
+type regionState struct {
+	id       iommu.RegionID
+	proc     *kernel.Process // the backend process serving this guest
+	vramLo   uint64
+	vramNext uint64
+	vramHi   uint64
+	pool     []mem.GuestPhys // system-memory page pool (change i)
+	gart     mem.GuestPhys   // per-region address-translation buffer (change ii)
+}
+
+type dataIsolation struct {
+	h      *hv.Hypervisor
+	drvVM  *hv.VM
+	dom    *iommu.Domain
+	mcGate *hv.Gate
+	gpu    *gpu.GPU
+	// regions keyed by the process the file operations arrive on — each
+	// guest VM's CVD channel has its own backend process.
+	regions map[*kernel.Process]*regionState
+	active  *regionState
+	// poolPages is the per-region pool size mapped at initialization.
+	poolPages int
+}
+
+// EnableDataIsolation converts the driver to the isolation-compatible
+// configuration: the MC registers become hypercall-only (the hypervisor has
+// revoked their MMIO page via the gate), and the interrupt-reason buffer is
+// disabled so every interrupt is treated as a fence — which costs the VSync
+// interrupt, exactly as the paper reports.
+func (d *Driver) EnableDataIsolation(h *hv.Hypervisor, drvVM *hv.VM, dom *iommu.Domain, mcGate *hv.Gate) error {
+	if !d.model.Evergreen && d.model.Name != "" {
+		return kernel.EINVAL // §5.3: only the Evergreen series has the MC bound registers
+	}
+	d.di = &dataIsolation{
+		h: h, drvVM: drvVM, dom: dom, mcGate: mcGate, gpu: d.GPU,
+		regions:   make(map[*kernel.Process]*regionState),
+		poolPages: 16,
+	}
+	d.irqReasonGPA = 0
+	d.GPU.SetIRQReasonBuffer(0)
+	return nil
+}
+
+// DataIsolationEnabled reports whether the driver runs in the §5.3
+// configuration.
+func (d *Driver) DataIsolationEnabled() bool { return d.di != nil }
+
+// AddGuestRegion prepares a protected memory region for one guest VM: a
+// VRAM partition [vramLo, vramHi) whose pages the hypervisor protects, a
+// pool of driver-VM system pages staged in the IOMMU under the region, and
+// the per-region GART buffer. proc is the CVD backend process serving that
+// guest — the driver keys incoming file operations by it.
+func (d *Driver) AddGuestRegion(proc *kernel.Process, guest *hv.VM, vramLo, vramHi uint64) error {
+	di := d.di
+	region := di.h.CreateRegion(guest)
+	r := &regionState{id: region, proc: proc, vramLo: vramLo, vramNext: vramLo, vramHi: vramHi}
+
+	// Change (i): allocate and stage the page pool during initialization.
+	for i := 0; i < di.poolPages; i++ {
+		pfn, err := d.K.AllocFrame()
+		if err != nil {
+			return err
+		}
+		if err := di.h.RegionAddSysPage(di.dom, region, di.drvVM, pfn); err != nil {
+			return err
+		}
+		r.pool = append(r.pool, pfn)
+	}
+
+	// Change (ii): a GART buffer per region, device-read-only so the
+	// driver keeps (emulated write-only) CPU access.
+	gart, err := d.K.AllocFrame()
+	if err != nil {
+		return err
+	}
+	if err := di.h.RegionAddSysPageDeviceRO(di.dom, region, di.drvVM, gart); err != nil {
+		return err
+	}
+	r.gart = gart
+
+	// Protect the VRAM partition: the device pages become region-owned and
+	// the driver VM loses CPU access to them. (The pages themselves remain
+	// lazily backed; protection is an EPT-permission property.)
+	if err := di.h.ProtectDeviceRange(di.drvVM, region, d.vramGPA+mem.GuestPhys(vramLo), vramHi-vramLo); err != nil {
+		return err
+	}
+	di.regions[proc] = r
+	return nil
+}
+
+// regionFor resolves the protected region a file operation belongs to, via
+// the process its task runs as.
+func (di *dataIsolation) regionFor(c *kernel.FopCtx) (*regionState, error) {
+	r, ok := di.regions[c.Task.Proc]
+	if !ok {
+		return nil, kernel.EACCES
+	}
+	return r, nil
+}
+
+// activate switches the device to the requesting guest's region before a
+// command submission: the hypervisor swaps the IOMMU live set and — through
+// the hypercall gate — the MC accessible-VRAM window (§4.2: "the device has
+// access permission to one memory region at a time").
+func (di *dataIsolation) activate(c *kernel.FopCtx) error {
+	r, err := di.regionFor(c)
+	if err != nil {
+		return err
+	}
+	if di.active == r {
+		return nil
+	}
+	if err := di.h.RegionSwitch(di.dom, r.id); err != nil {
+		return kernel.EIO
+	}
+	di.h.HypercallAccess(di.mcGate, func() {
+		di.gpu.SetMCBounds(r.vramLo, r.vramHi)
+	})
+	di.active = r
+	return nil
+}
+
+// ReleaseRegionPage returns a pool page to the hypervisor, which zeroes it
+// before unmapping (change i's teardown path).
+func (d *Driver) ReleaseRegionPage(proc *kernel.Process, idx int) error {
+	r, ok := d.di.regions[proc]
+	if !ok || idx >= len(r.pool) {
+		return kernel.EINVAL
+	}
+	return d.di.h.RegionRemoveSysPage(d.di.dom, r.id, d.di.drvVM, r.pool[idx])
+}
+
+// ActiveRegion exposes the active region's owner process for tests.
+func (d *Driver) ActiveRegion() *kernel.Process {
+	if d.di == nil || d.di.active == nil {
+		return nil
+	}
+	return d.di.active.proc
+}

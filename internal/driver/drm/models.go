@@ -1,0 +1,53 @@
+package drm
+
+import "fmt"
+
+// Model identifies one of the GPUs the paper paravirtualizes (Table 1).
+// Device data isolation is Evergreen-only (§5.3: "our changes only support
+// the Radeon Evergreen series", whose memory controller exposes the
+// accessible-VRAM bound registers §4.2 relies on).
+type Model struct {
+	Name      string
+	Vendor    uint32
+	Device    uint32
+	VRAM      uint64
+	Evergreen bool
+	// DriverName is the stack a real system would load (Table 1's column).
+	DriverName string
+}
+
+// The GPU models of Table 1.
+var (
+	ModelHD6450 = Model{
+		Name: "ATI Radeon HD 6450", Vendor: 0x1002, Device: 0x6779,
+		VRAM: 1 << 30, Evergreen: true, DriverName: "DRM/Radeon",
+	}
+	ModelHD4650 = Model{
+		Name: "ATI Radeon HD 4650", Vendor: 0x1002, Device: 0x9498,
+		VRAM: 512 << 20, Evergreen: false, DriverName: "DRM/Radeon",
+	}
+	ModelX1300 = Model{
+		Name: "ATI Mobility Radeon X1300", Vendor: 0x1002, Device: 0x7149,
+		VRAM: 256 << 20, Evergreen: false, DriverName: "DRM/Radeon",
+	}
+	ModelGM965 = Model{
+		Name: "Intel Mobile GM965/GL960", Vendor: 0x8086, Device: 0x2a02,
+		VRAM: 256 << 20, Evergreen: false, DriverName: "DRM/i915",
+	}
+)
+
+// LookupModel resolves a model by short name ("hd6450", "hd4650", "x1300",
+// "gm965"); the empty string selects the paper's primary card, the HD 6450.
+func LookupModel(name string) (Model, error) {
+	switch name {
+	case "", "hd6450":
+		return ModelHD6450, nil
+	case "hd4650":
+		return ModelHD4650, nil
+	case "x1300":
+		return ModelX1300, nil
+	case "gm965":
+		return ModelGM965, nil
+	}
+	return Model{}, fmt.Errorf("drm: unknown GPU model %q", name)
+}

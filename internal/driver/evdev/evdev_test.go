@@ -1,0 +1,150 @@
+package evdev
+
+import (
+	"testing"
+
+	"paradice/internal/devfile"
+	"paradice/internal/device/input"
+	"paradice/internal/hv"
+	"paradice/internal/kernel"
+	"paradice/internal/sim"
+)
+
+func newRig(t testing.TB) (*kernel.Kernel, *input.Device, *Driver, *sim.Env) {
+	t.Helper()
+	env := sim.NewEnv()
+	h := hv.New(env, 64<<20)
+	vm, err := h.CreateVM("m", 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New("m", kernel.Linux, env, vm.Space, 16<<20)
+	dev := input.New(env, "mouse", 500*sim.Nanosecond)
+	d := Attach(k, dev, "/dev/input/event0")
+	return k, dev, d, env
+}
+
+func TestEventsDeliveredInOrder(t *testing.T) {
+	k, dev, _, env := newRig(t)
+	p, _ := k.NewProcess("reader")
+	var got []input.Event
+	p.SpawnTask("r", func(tk *kernel.Task) {
+		fd, err := tk.Open("/dev/input/event0", devfile.ORdOnly)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf, _ := p.Alloc(EventSize * 8)
+		for len(got) < 3 {
+			n, err := tk.Read(fd, buf, EventSize*8)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			raw := make([]byte, n)
+			_ = p.Mem.Read(buf, raw)
+			for off := 0; off+EventSize <= n; off += EventSize {
+				got = append(got, DecodeEvent(raw[off:]))
+			}
+		}
+	})
+	for i := 0; i < 3; i++ {
+		dev.InjectAt(sim.Time(i+1)*sim.Time(sim.Millisecond), input.EvRel, 0, int32(10+i))
+	}
+	env.Run()
+	if len(got) != 3 {
+		t.Fatalf("got %d events", len(got))
+	}
+	for i, e := range got {
+		if e.Value != int32(10+i) || e.Type != input.EvRel {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		if e.At < sim.Time(sim.Millisecond) {
+			t.Fatalf("event %d missing timestamp: %v", i, e.At)
+		}
+	}
+}
+
+func TestEachReaderGetsEveryEvent(t *testing.T) {
+	k, dev, _, env := newRig(t)
+	counts := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		p, _ := k.NewProcess("reader")
+		p.SpawnTask("r", func(tk *kernel.Task) {
+			fd, _ := tk.Open("/dev/input/event0", devfile.ORdOnly)
+			buf, _ := p.Alloc(EventSize)
+			for counts[i] < 2 {
+				if _, err := tk.Read(fd, buf, EventSize); err != nil {
+					t.Error(err)
+					return
+				}
+				counts[i]++
+			}
+		})
+	}
+	dev.InjectAt(sim.Time(sim.Millisecond), input.EvKey, 30, 1)
+	dev.InjectAt(sim.Time(2*sim.Millisecond), input.EvKey, 30, 0)
+	env.Run()
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("fan-out counts %v", counts)
+	}
+}
+
+func TestQueueOverflowDrops(t *testing.T) {
+	k, dev, d, env := newRig(t)
+	p, _ := k.NewProcess("sluggish")
+	p.SpawnTask("open-only", func(tk *kernel.Task) {
+		_, _ = tk.Open("/dev/input/event0", devfile.ORdOnly)
+	})
+	for i := 0; i < maxQueued+50; i++ {
+		dev.InjectAt(sim.Time(i+1)*sim.Time(sim.Microsecond), input.EvRel, 0, 1)
+	}
+	env.Run()
+	if d.Dropped != 50 {
+		t.Fatalf("dropped = %d, want 50", d.Dropped)
+	}
+}
+
+func TestReleaseStopsDelivery(t *testing.T) {
+	k, dev, d, env := newRig(t)
+	p, _ := k.NewProcess("quitter")
+	p.SpawnTask("openclose", func(tk *kernel.Task) {
+		fd, _ := tk.Open("/dev/input/event0", devfile.ORdOnly)
+		_ = tk.Close(fd)
+	})
+	dev.InjectAt(sim.Time(sim.Millisecond), input.EvRel, 0, 1)
+	env.Run()
+	if len(d.readers) != 0 {
+		t.Fatalf("readers = %d after close", len(d.readers))
+	}
+}
+
+func TestShortReadBufferEINVAL(t *testing.T) {
+	k, dev, _, env := newRig(t)
+	p, _ := k.NewProcess("tiny")
+	p.SpawnTask("r", func(tk *kernel.Task) {
+		fd, _ := tk.Open("/dev/input/event0", devfile.ORdOnly|devfile.ONonblock)
+		buf, _ := p.Alloc(4)
+		tk.Sim().Sleep(2 * sim.Millisecond) // let the event arrive
+		if _, err := tk.Read(fd, buf, 4); !kernel.IsErrno(err, kernel.EINVAL) {
+			t.Errorf("short read: %v", err)
+		}
+	})
+	dev.InjectAt(sim.Time(sim.Millisecond), input.EvRel, 0, 1)
+	env.Run()
+}
+
+func TestIRQLatencyAppliedBeforeReport(t *testing.T) {
+	env := sim.NewEnv()
+	dev := input.New(env, "slow", 16*sim.Microsecond)
+	var at sim.Time
+	dev.OnReport(func(e input.Event) { at = e.At })
+	env.RunFunc("inject", func(pr *sim.Proc) {
+		pr.Sleep(100 * sim.Microsecond)
+		dev.Inject(input.EvRel, 0, 1)
+	})
+	if at != sim.Time(116*sim.Microsecond) {
+		t.Fatalf("reported at %v, want 116µs", at)
+	}
+}

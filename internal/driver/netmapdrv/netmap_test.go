@@ -1,0 +1,180 @@
+package netmapdrv
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"paradice/internal/devfile"
+	"paradice/internal/device/nic"
+	"paradice/internal/hv"
+	"paradice/internal/iommu"
+	"paradice/internal/kernel"
+	"paradice/internal/mem"
+	"paradice/internal/sim"
+)
+
+func newRig(t testing.TB) (*kernel.Kernel, *nic.NIC, *sim.Env) {
+	t.Helper()
+	env := sim.NewEnv()
+	h := hv.New(env, 64<<20)
+	vm, err := h.CreateVM("m", 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New("m", kernel.Linux, env, vm.Space, 16<<20)
+	n := nic.New(env)
+	dom, _, err := h.AssignDevice(vm, "nic", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Connect(&iommu.DMA{Dom: dom, Phys: h.Phys})
+	if _, err := Attach(k, n); err != nil {
+		t.Fatal(err)
+	}
+	return k, n, env
+}
+
+// nmApp drives the netmap API by hand (the usrlib version is tested
+// elsewhere; this exercises the raw ring protocol).
+func TestRawRingProtocol(t *testing.T) {
+	k, n, env := newRig(t)
+	p, _ := k.NewProcess("raw")
+	p.SpawnTask("tx", func(tk *kernel.Task) {
+		fd, err := tk.Open("/dev/netmap", devfile.ORdWr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		arg, _ := p.Alloc(16)
+		if _, err := tk.Ioctl(fd, NIOCREGIF, arg); err != nil {
+			t.Error(err)
+			return
+		}
+		out := make([]byte, 16)
+		_ = p.Mem.Read(arg, out)
+		slots := binary.LittleEndian.Uint32(out[0:])
+		pages := binary.LittleEndian.Uint32(out[8:])
+		if slots != NumSlots || pages != memPages {
+			t.Errorf("layout %d slots %d pages", slots, pages)
+		}
+		base, err := tk.Mmap(fd, uint64(pages)*mem.PageSize, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Write one packet into slot 0's buffer, set its length, bump head.
+		pkt := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+		if err := p.UserWrite(tk, base+mem.PageSize, pkt); err != nil {
+			t.Error(err)
+			return
+		}
+		var lenB [4]byte
+		binary.LittleEndian.PutUint32(lenB[:], 8)
+		if err := p.UserWrite(tk, base+slotTab, lenB[:]); err != nil {
+			t.Error(err)
+			return
+		}
+		var headB [4]byte
+		binary.LittleEndian.PutUint32(headB[:], 1)
+		if err := p.UserWrite(tk, base+offHead, headB[:]); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := tk.Poll(fd, devfile.PollOut, -1); err != nil {
+			t.Error(err)
+			return
+		}
+		// Wait for the wire.
+		tk.Sim().Sleep(10 * sim.Microsecond)
+		// Tail advanced past our packet.
+		var tailB [4]byte
+		if err := p.UserRead(tk, base+offTail, tailB[:]); err != nil {
+			t.Error(err)
+			return
+		}
+		if binary.LittleEndian.Uint32(tailB[:]) != 1 {
+			t.Errorf("tail = %d", binary.LittleEndian.Uint32(tailB[:]))
+		}
+	})
+	env.Run()
+	if n.TxPackets != 1 || n.TxBytes != 8 {
+		t.Fatalf("nic: %d pkts %d bytes", n.TxPackets, n.TxBytes)
+	}
+	want := uint32(0)
+	for _, b := range []byte{1, 2, 3, 4, 5, 6, 7, 8} {
+		want = want*31 + uint32(b)
+	}
+	if n.Checksum != want {
+		t.Fatalf("checksum %#x want %#x", n.Checksum, want)
+	}
+}
+
+func TestSingleClient(t *testing.T) {
+	k, _, env := newRig(t)
+	p, _ := k.NewProcess("app")
+	p.SpawnTask("main", func(tk *kernel.Task) {
+		if _, err := tk.Open("/dev/netmap", devfile.ORdWr); err != nil {
+			t.Error(err)
+		}
+		if _, err := tk.Open("/dev/netmap", devfile.ORdWr); !kernel.IsErrno(err, kernel.EBUSY) {
+			t.Errorf("second client: %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestUnknownIoctl(t *testing.T) {
+	k, _, env := newRig(t)
+	p, _ := k.NewProcess("app")
+	p.SpawnTask("main", func(tk *kernel.Task) {
+		fd, _ := tk.Open("/dev/netmap", devfile.ORdWr)
+		if _, err := tk.Ioctl(fd, devfile.IO('N', 0x55), 0); !kernel.IsErrno(err, kernel.ENOTTY) {
+			t.Errorf("unknown ioctl: %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestOversizeMmapRejected(t *testing.T) {
+	k, _, env := newRig(t)
+	p, _ := k.NewProcess("app")
+	p.SpawnTask("main", func(tk *kernel.Task) {
+		fd, _ := tk.Open("/dev/netmap", devfile.ORdWr)
+		arg, _ := p.Alloc(16)
+		if _, err := tk.Ioctl(fd, NIOCREGIF, arg); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := tk.Mmap(fd, uint64(memPages+1)*mem.PageSize, 0); !kernel.IsErrno(err, kernel.EINVAL) {
+			t.Errorf("oversize mmap: %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestBogusSlotLengthClamped(t *testing.T) {
+	k, n, env := newRig(t)
+	p, _ := k.NewProcess("hostile")
+	p.SpawnTask("tx", func(tk *kernel.Task) {
+		fd, _ := tk.Open("/dev/netmap", devfile.ORdWr)
+		arg, _ := p.Alloc(16)
+		_, _ = tk.Ioctl(fd, NIOCREGIF, arg)
+		base, err := tk.Mmap(fd, uint64(memPages)*mem.PageSize, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Claim a 1 MB packet in a 2 KB buffer.
+		var lenB [4]byte
+		binary.LittleEndian.PutUint32(lenB[:], 1<<20)
+		_ = p.UserWrite(tk, base+slotTab, lenB[:])
+		var headB [4]byte
+		binary.LittleEndian.PutUint32(headB[:], 1)
+		_ = p.UserWrite(tk, base+offHead, headB[:])
+		_, _ = tk.Poll(fd, devfile.PollOut, -1)
+	})
+	env.Run()
+	if n.TxBytes > BufSize {
+		t.Fatalf("driver transmitted %d bytes from a hostile slot length", n.TxBytes)
+	}
+}

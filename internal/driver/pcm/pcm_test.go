@@ -1,0 +1,153 @@
+package pcm
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"paradice/internal/devfile"
+	"paradice/internal/device/audio"
+	"paradice/internal/hv"
+	"paradice/internal/iommu"
+	"paradice/internal/kernel"
+	"paradice/internal/sim"
+)
+
+func newRig(t testing.TB) (*kernel.Kernel, *audio.Device, *sim.Env) {
+	t.Helper()
+	env := sim.NewEnv()
+	h := hv.New(env, 64<<20)
+	vm, err := h.CreateVM("m", 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New("m", kernel.Linux, env, vm.Space, 16<<20)
+	dev := audio.New(env)
+	dom, _, err := h.AssignDevice(vm, "hda", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.Connect(&iommu.DMA{Dom: dom, Phys: h.Phys})
+	if _, err := Attach(k, dev, "/dev/snd/pcmC0D0p"); err != nil {
+		t.Fatal(err)
+	}
+	return k, dev, env
+}
+
+func TestWriteBlocksAtRingAndPlaysAll(t *testing.T) {
+	k, dev, env := newRig(t)
+	p, _ := k.NewProcess("aplay")
+	const total = 96000 // 0.5s at 48kHz * 4B
+	var elapsed sim.Duration
+	p.SpawnTask("play", func(tk *kernel.Task) {
+		fd, err := tk.Open("/dev/snd/pcmC0D0p", devfile.OWrOnly)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf, _ := p.Alloc(8192)
+		chunk := make([]byte, 8192)
+		for i := range chunk {
+			chunk[i] = byte(i)
+		}
+		_ = p.Mem.Write(buf, chunk)
+		start := tk.Sim().Now()
+		for w := 0; w < total; {
+			n := 8192
+			if total-w < n {
+				n = total - w
+			}
+			wrote, err := tk.Write(fd, buf, n)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			w += wrote
+		}
+		if _, err := tk.Ioctl(fd, IoctlDrain, 0); err != nil {
+			t.Error(err)
+		}
+		elapsed = tk.Sim().Now().Sub(start)
+	})
+	env.Run()
+	if dev.FramesPlayed != total/4 {
+		t.Fatalf("frames played = %d, want %d", dev.FramesPlayed, total/4)
+	}
+	if elapsed < 490*sim.Millisecond || elapsed > 560*sim.Millisecond {
+		t.Fatalf("0.5s clip played in %v", elapsed)
+	}
+	if dev.Checksum == 0 {
+		t.Fatal("codec never read sample bytes")
+	}
+}
+
+func TestHwParams(t *testing.T) {
+	k, dev, env := newRig(t)
+	p, _ := k.NewProcess("app")
+	p.SpawnTask("main", func(tk *kernel.Task) {
+		fd, _ := tk.Open("/dev/snd/pcmC0D0p", devfile.OWrOnly)
+		arg, _ := p.Alloc(8)
+		hw := make([]byte, 8)
+		binary.LittleEndian.PutUint32(hw[0:], 44100)
+		binary.LittleEndian.PutUint32(hw[4:], 2)
+		_ = p.Mem.Write(arg, hw)
+		if _, err := tk.Ioctl(fd, IoctlHwParams, arg); err != nil {
+			t.Error(err)
+		}
+		// Bad rate.
+		binary.LittleEndian.PutUint32(hw[0:], 999999)
+		_ = p.Mem.Write(arg, hw)
+		if _, err := tk.Ioctl(fd, IoctlHwParams, arg); !kernel.IsErrno(err, kernel.EINVAL) {
+			t.Errorf("bad rate: %v", err)
+		}
+	})
+	env.Run()
+	if dev.Rate() != 44100 || dev.FrameBytes() != 2 {
+		t.Fatalf("params not applied: %d/%d", dev.Rate(), dev.FrameBytes())
+	}
+}
+
+func TestSingleOpen(t *testing.T) {
+	k, _, env := newRig(t)
+	p, _ := k.NewProcess("app")
+	p.SpawnTask("main", func(tk *kernel.Task) {
+		if _, err := tk.Open("/dev/snd/pcmC0D0p", devfile.OWrOnly); err != nil {
+			t.Error(err)
+		}
+		if _, err := tk.Open("/dev/snd/pcmC0D0p", devfile.OWrOnly); !kernel.IsErrno(err, kernel.EBUSY) {
+			t.Errorf("second open: %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestNonblockWriteEAGAINWhenFull(t *testing.T) {
+	k, dev, env := newRig(t)
+	p, _ := k.NewProcess("app")
+	p.SpawnTask("main", func(tk *kernel.Task) {
+		fd, _ := tk.Open("/dev/snd/pcmC0D0p", devfile.OWrOnly|devfile.ONonblock)
+		buf, _ := p.Alloc(dev.RingSize())
+		// First write fills the ring.
+		n, err := tk.Write(fd, buf, dev.RingSize())
+		if err != nil || n != dev.RingSize() {
+			t.Errorf("fill: n=%d err=%v", n, err)
+		}
+		// Ring full: nonblocking write returns EAGAIN immediately.
+		if _, err := tk.Write(fd, buf, 16); !kernel.IsErrno(err, kernel.EAGAIN) {
+			t.Errorf("full nonblock write: %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestPollOutWhenSpace(t *testing.T) {
+	k, _, env := newRig(t)
+	p, _ := k.NewProcess("app")
+	p.SpawnTask("main", func(tk *kernel.Task) {
+		fd, _ := tk.Open("/dev/snd/pcmC0D0p", devfile.OWrOnly)
+		mask, err := tk.Poll(fd, devfile.PollOut, sim.Millisecond)
+		if err != nil || mask&devfile.PollOut == 0 {
+			t.Errorf("poll on empty ring: mask=%v err=%v", mask, err)
+		}
+	})
+	env.Run()
+}

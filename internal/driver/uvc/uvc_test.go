@@ -1,0 +1,213 @@
+package uvc
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"paradice/internal/devfile"
+	"paradice/internal/device/camera"
+	"paradice/internal/hv"
+	"paradice/internal/iommu"
+	"paradice/internal/kernel"
+	"paradice/internal/mem"
+	"paradice/internal/sim"
+)
+
+func newRig(t testing.TB) (*kernel.Kernel, *camera.Device, *Driver, *sim.Env) {
+	t.Helper()
+	env := sim.NewEnv()
+	h := hv.New(env, 128<<20)
+	vm, err := h.CreateVM("m", 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New("m", kernel.Linux, env, vm.Space, 64<<20)
+	cam := camera.New(env)
+	dom, _, err := h.AssignDevice(vm, "cam", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam.Connect(&iommu.DMA{Dom: dom, Phys: h.Phys})
+	d := Attach(k, cam, "/dev/video0")
+	return k, cam, d, env
+}
+
+type camApp struct {
+	p   *kernel.Process
+	tk  *kernel.Task
+	fd  int
+	arg mem.GuestVirt
+}
+
+func (a *camApp) ioctl(t testing.TB, cmd devfile.IoctlCmd, in []byte) []byte {
+	t.Helper()
+	if in != nil {
+		if err := a.p.Mem.Write(a.arg, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.tk.Ioctl(a.fd, cmd, a.arg); err != nil {
+		t.Fatalf("%v: %v", cmd, err)
+	}
+	out := make([]byte, 32)
+	if err := a.p.Mem.Read(a.arg, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestStreamingLoopDeliversPatternFrames(t *testing.T) {
+	k, _, _, env := newRig(t)
+	p, _ := k.NewProcess("guvcview")
+	p.SpawnTask("cap", func(tk *kernel.Task) {
+		fd, err := tk.Open("/dev/video0", devfile.ORdWr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		arg, _ := p.Alloc(32)
+		a := &camApp{p: p, tk: tk, fd: fd, arg: arg}
+		// Negotiate 1280x720.
+		fmtIn := make([]byte, 16)
+		binary.LittleEndian.PutUint32(fmtIn[0:], 1280)
+		binary.LittleEndian.PutUint32(fmtIn[4:], 720)
+		out := a.ioctl(t, VidiocSFmt, fmtIn)
+		size := binary.LittleEndian.Uint32(out[8:])
+		if size != 1280*720*2 {
+			t.Errorf("sizeimage = %d", size)
+		}
+		// Two buffers, mapped.
+		req := make([]byte, 8)
+		binary.LittleEndian.PutUint32(req, 2)
+		a.ioctl(t, VidiocReqbufs, req)
+		mapLen := (uint64(size) + mem.PageSize - 1) &^ (mem.PageSize - 1)
+		var vas [2]mem.GuestVirt
+		for i := 0; i < 2; i++ {
+			q := make([]byte, 24)
+			binary.LittleEndian.PutUint32(q, uint32(i))
+			out := a.ioctl(t, VidiocQuerybuf, q)
+			pgoff := binary.LittleEndian.Uint64(out[8:])
+			va, err := tk.Mmap(fd, mapLen, pgoff)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			vas[i] = va
+			qb := make([]byte, 8)
+			binary.LittleEndian.PutUint32(qb, uint32(i))
+			a.ioctl(t, VidiocQbuf, qb)
+		}
+		a.ioctl(t, VidiocStreamOn, nil)
+		for f := 0; f < 4; f++ {
+			out := a.ioctl(t, VidiocDqbuf, nil)
+			idx := binary.LittleEndian.Uint32(out[0:])
+			seq := binary.LittleEndian.Uint32(out[4:])
+			probe := make([]byte, 8)
+			if err := p.UserRead(tk, vas[idx]+8, probe); err != nil {
+				t.Error(err)
+				return
+			}
+			for i, b := range probe {
+				if b != camera.FramePattern(seq, 8+i) {
+					t.Errorf("frame %d byte %d = %#x", seq, i, b)
+				}
+			}
+			qb := make([]byte, 8)
+			binary.LittleEndian.PutUint32(qb, idx)
+			a.ioctl(t, VidiocQbuf, qb)
+		}
+		a.ioctl(t, VidiocStreamOff, nil)
+	})
+	env.Run()
+}
+
+func TestSingleOpenEnforced(t *testing.T) {
+	k, _, _, env := newRig(t)
+	p1, _ := k.NewProcess("first")
+	p2, _ := k.NewProcess("second")
+	p1.SpawnTask("a", func(tk *kernel.Task) {
+		if _, err := tk.Open("/dev/video0", devfile.ORdWr); err != nil {
+			t.Error(err)
+		}
+	})
+	p2.SpawnTask("b", func(tk *kernel.Task) {
+		tk.Sim().Sleep(sim.Millisecond)
+		if _, err := tk.Open("/dev/video0", devfile.ORdWr); !kernel.IsErrno(err, kernel.EBUSY) {
+			t.Errorf("second open: %v, want EBUSY (§5.1)", err)
+		}
+	})
+	env.Run()
+}
+
+func TestInvalidRequests(t *testing.T) {
+	k, _, _, env := newRig(t)
+	p, _ := k.NewProcess("app")
+	p.SpawnTask("main", func(tk *kernel.Task) {
+		fd, _ := tk.Open("/dev/video0", devfile.ORdWr)
+		arg, _ := p.Alloc(32)
+		// Unsupported resolution.
+		in := make([]byte, 16)
+		binary.LittleEndian.PutUint32(in[0:], 640)
+		binary.LittleEndian.PutUint32(in[4:], 480)
+		_ = p.Mem.Write(arg, in)
+		if _, err := tk.Ioctl(fd, VidiocSFmt, arg); !kernel.IsErrno(err, kernel.EINVAL) {
+			t.Errorf("bad format: %v", err)
+		}
+		// Too many buffers.
+		req := make([]byte, 8)
+		binary.LittleEndian.PutUint32(req, MaxBuffers+1)
+		_ = p.Mem.Write(arg, req)
+		if _, err := tk.Ioctl(fd, VidiocReqbufs, arg); !kernel.IsErrno(err, kernel.EINVAL) {
+			t.Errorf("too many buffers: %v", err)
+		}
+		// Queue a nonexistent buffer.
+		binary.LittleEndian.PutUint32(req, 7)
+		_ = p.Mem.Write(arg, req)
+		if _, err := tk.Ioctl(fd, VidiocQbuf, arg); !kernel.IsErrno(err, kernel.EINVAL) {
+			t.Errorf("bad qbuf: %v", err)
+		}
+		// Unknown ioctl.
+		if _, err := tk.Ioctl(fd, devfile.IO('V', 0x7F), 0); !kernel.IsErrno(err, kernel.ENOTTY) {
+			t.Errorf("unknown ioctl: %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestNonblockDqbufEAGAIN(t *testing.T) {
+	k, _, _, env := newRig(t)
+	p, _ := k.NewProcess("app")
+	p.SpawnTask("main", func(tk *kernel.Task) {
+		fd, _ := tk.Open("/dev/video0", devfile.ORdWr|devfile.ONonblock)
+		arg, _ := p.Alloc(8)
+		if _, err := tk.Ioctl(fd, VidiocDqbuf, arg); !kernel.IsErrno(err, kernel.EAGAIN) {
+			t.Errorf("nonblock dqbuf: %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestReleaseResetsState(t *testing.T) {
+	k, cam, _, env := newRig(t)
+	p, _ := k.NewProcess("app")
+	p.SpawnTask("main", func(tk *kernel.Task) {
+		fd, _ := tk.Open("/dev/video0", devfile.ORdWr)
+		arg, _ := p.Alloc(8)
+		req := make([]byte, 8)
+		binary.LittleEndian.PutUint32(req, 2)
+		_ = p.Mem.Write(arg, req)
+		if _, err := tk.Ioctl(fd, VidiocReqbufs, arg); err != nil {
+			t.Error(err)
+		}
+		if _, err := tk.Ioctl(fd, VidiocStreamOn, 0); err != nil {
+			t.Error(err)
+		}
+		_ = tk.Close(fd)
+		// Reopen works (single-open slot freed, streaming stopped).
+		if _, err := tk.Open("/dev/video0", devfile.ORdWr); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run()
+	_ = cam
+}

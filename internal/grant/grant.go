@@ -1,0 +1,228 @@
+// Package grant implements Paradice's grant table (§4.1, §5.1): a single
+// memory page shared between a guest VM's CVD frontend and the hypervisor.
+// Before forwarding a file operation, the frontend declares the operation's
+// legitimate memory operations as entries in this page; the backend attaches
+// the entry's reference number to every hypervisor memory-operation request,
+// and the hypervisor validates each request against the declared entries.
+//
+// The table is a real byte-encoded page — both sides parse the same bytes,
+// the frontend through its guest address space and the hypervisor through
+// the page's system-physical address — so nothing about the validation can
+// accidentally rely on Go state smuggled across the VM boundary.
+package grant
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"paradice/internal/mem"
+)
+
+// Kind classifies a declared memory operation.
+type Kind uint8
+
+// Memory operation kinds.
+const (
+	KindInvalid  Kind = iota
+	KindCopyTo        // driver copies data TO guest process memory
+	KindCopyFrom      // driver copies data FROM guest process memory
+	KindMapPage       // driver maps pages INTO the guest process address space
+	KindUnmap         // driver unmaps pages from the guest process address space
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCopyTo:
+		return "copy-to-user"
+	case KindCopyFrom:
+		return "copy-from-user"
+	case KindMapPage:
+		return "map-page"
+	case KindUnmap:
+		return "unmap-page"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Op is one legitimate memory operation: the driver may perform accesses of
+// the given kind anywhere within [VA, VA+Len).
+type Op struct {
+	Kind Kind
+	VA   mem.GuestVirt
+	Len  uint64
+}
+
+// Page layout: 128 slots of 32 bytes each.
+const (
+	slotSize  = 32
+	slotCount = mem.PageSize / slotSize
+
+	offRef    = 0  // u32; 0 means free
+	offKind   = 4  // u8
+	offVA     = 8  // u64
+	offLen    = 16 // u64
+	offPTRoot = 24 // u64 (guest page-table root of the issuing process)
+)
+
+// Slots is the number of grant entries one table page holds.
+const Slots = slotCount
+
+// Accessor is how one side of the boundary reads and writes the shared page.
+type Accessor interface {
+	ReadAt(off int, b []byte) error
+	WriteAt(off int, b []byte) error
+}
+
+// GuestAccessor accesses the page through a guest-physical address — the
+// frontend's view.
+type GuestAccessor struct {
+	Space *mem.GuestSpace
+	GPA   mem.GuestPhys
+}
+
+// ReadAt implements Accessor.
+func (a *GuestAccessor) ReadAt(off int, b []byte) error {
+	return a.Space.Read(a.GPA+mem.GuestPhys(off), b)
+}
+
+// WriteAt implements Accessor.
+func (a *GuestAccessor) WriteAt(off int, b []byte) error {
+	return a.Space.Write(a.GPA+mem.GuestPhys(off), b)
+}
+
+// PhysAccessor accesses the page through its system-physical address — the
+// hypervisor's view.
+type PhysAccessor struct {
+	Phys *mem.PhysMem
+	SPA  mem.SysPhys
+}
+
+// ReadAt implements Accessor.
+func (a *PhysAccessor) ReadAt(off int, b []byte) error {
+	return a.Phys.Read(a.SPA+mem.SysPhys(off), b)
+}
+
+// WriteAt implements Accessor.
+func (a *PhysAccessor) WriteAt(off int, b []byte) error {
+	return a.Phys.Write(a.SPA+mem.SysPhys(off), b)
+}
+
+// Table is the frontend's handle for declaring and revoking grants.
+type Table struct {
+	acc     Accessor
+	nextRef uint32
+}
+
+// NewTable wraps a zeroed shared page.
+func NewTable(acc Accessor) *Table {
+	return &Table{acc: acc, nextRef: 1}
+}
+
+// Declare writes the operations into free slots under a fresh reference
+// number and returns the reference. ptRoot is the page-table root of the
+// process issuing the file operation; the hypervisor walks that table when
+// executing the operations.
+func (t *Table) Declare(ptRoot mem.GuestPhys, ops []Op) (uint32, error) {
+	if len(ops) == 0 {
+		return 0, fmt.Errorf("grant: empty declaration")
+	}
+	ref := t.nextRef
+	t.nextRef++
+	if t.nextRef == 0 { // refs must stay nonzero
+		t.nextRef = 1
+	}
+	written := 0
+	for slot := 0; slot < slotCount && written < len(ops); slot++ {
+		var refB [4]byte
+		if err := t.acc.ReadAt(slot*slotSize+offRef, refB[:]); err != nil {
+			return 0, err
+		}
+		if binary.LittleEndian.Uint32(refB[:]) != 0 {
+			continue
+		}
+		if err := writeSlot(t.acc, slot, ref, ptRoot, ops[written]); err != nil {
+			return 0, err
+		}
+		written++
+	}
+	if written < len(ops) {
+		// Roll back what we wrote: the table page is full.
+		_ = revoke(t.acc, ref)
+		return 0, fmt.Errorf("grant: table full (%d slots)", slotCount)
+	}
+	return ref, nil
+}
+
+// Revoke frees every slot declared under ref.
+func (t *Table) Revoke(ref uint32) error { return revoke(t.acc, ref) }
+
+func writeSlot(acc Accessor, slot int, ref uint32, ptRoot mem.GuestPhys, op Op) error {
+	var buf [slotSize]byte
+	binary.LittleEndian.PutUint32(buf[offRef:], ref)
+	buf[offKind] = uint8(op.Kind)
+	binary.LittleEndian.PutUint64(buf[offVA:], uint64(op.VA))
+	binary.LittleEndian.PutUint64(buf[offLen:], op.Len)
+	binary.LittleEndian.PutUint64(buf[offPTRoot:], uint64(ptRoot))
+	return acc.WriteAt(slot*slotSize, buf[:])
+}
+
+func revoke(acc Accessor, ref uint32) error {
+	var zero [slotSize]byte
+	for slot := 0; slot < slotCount; slot++ {
+		var refB [4]byte
+		if err := acc.ReadAt(slot*slotSize+offRef, refB[:]); err != nil {
+			return err
+		}
+		if binary.LittleEndian.Uint32(refB[:]) == ref {
+			if err := acc.WriteAt(slot*slotSize, zero[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DeniedError reports a memory operation the grant table does not cover —
+// the hypervisor's strict runtime check failing a compromised driver VM.
+type DeniedError struct {
+	Ref  uint32
+	Kind Kind
+	VA   mem.GuestVirt
+	Len  uint64
+}
+
+func (e *DeniedError) Error() string {
+	return fmt.Sprintf("grant: ref %d does not permit %v of %d bytes at %v",
+		e.Ref, e.Kind, e.Len, e.VA)
+}
+
+// Validate is the hypervisor's check: it scans the page for an entry with
+// the given reference and kind whose range covers [va, va+n), and returns
+// the page-table root declared with it. Unmap requests are additionally
+// satisfied by a MapPage entry covering the range, since tearing down a
+// granted mapping is always legitimate.
+func Validate(acc Accessor, ref uint32, kind Kind, va mem.GuestVirt, n uint64) (mem.GuestPhys, error) {
+	if ref == 0 {
+		return 0, &DeniedError{Ref: ref, Kind: kind, VA: va, Len: n}
+	}
+	for slot := 0; slot < slotCount; slot++ {
+		var buf [slotSize]byte
+		if err := acc.ReadAt(slot*slotSize, buf[:]); err != nil {
+			return 0, err
+		}
+		if binary.LittleEndian.Uint32(buf[offRef:]) != ref {
+			continue
+		}
+		k := Kind(buf[offKind])
+		if k != kind && !(kind == KindUnmap && k == KindMapPage) {
+			continue
+		}
+		eva := mem.GuestVirt(binary.LittleEndian.Uint64(buf[offVA:]))
+		elen := binary.LittleEndian.Uint64(buf[offLen:])
+		if va >= eva && uint64(va)+n <= uint64(eva)+elen && uint64(va)+n >= uint64(va) {
+			return mem.GuestPhys(binary.LittleEndian.Uint64(buf[offPTRoot:])), nil
+		}
+	}
+	return 0, &DeniedError{Ref: ref, Kind: kind, VA: va, Len: n}
+}

@@ -1,0 +1,155 @@
+package hv
+
+import (
+	"fmt"
+
+	"paradice/internal/grant"
+	"paradice/internal/mem"
+	"paradice/internal/perf"
+)
+
+// This file implements the hypervisor API for the two kinds of driver
+// memory operations (§5.2): copying between driver-VM buffers and guest
+// process memory, and mapping driver-VM pages into guest process address
+// spaces. Every operation is validated against the guest's grant table
+// first (§4.1) — the driver VM is untrusted, so nothing it claims is
+// believed without a matching declaration from the guest's CVD frontend.
+
+func (vm *VM) grantAccessor() (*grant.PhysAccessor, error) {
+	if vm.grantSPA == 0 {
+		return nil, fmt.Errorf("hv: %s has no registered grant table", vm.Name)
+	}
+	return &grant.PhysAccessor{Phys: vm.hv.Phys, SPA: vm.grantSPA}, nil
+}
+
+// validate checks the request against the guest's grant table and returns
+// the guest page table loaded from the declared root.
+func (h *Hypervisor) validate(guest *VM, ref uint32, kind grant.Kind, va mem.GuestVirt, n uint64) (*mem.PageTable, error) {
+	acc, err := guest.grantAccessor()
+	if err != nil {
+		return nil, err
+	}
+	perf.Charge(h.Env, perf.CostGrantDeclare)
+	ptRoot, err := grant.Validate(acc, ref, kind, va, n)
+	if err != nil {
+		return nil, err
+	}
+	return mem.LoadPageTable(guest.Space, ptRoot), nil
+}
+
+// CopyToGuest copies src into the guest process's memory at dst, performing
+// the per-page two-level translation walk of §5.2. The request must be
+// covered by a copy-to-user grant under ref.
+func (h *Hypervisor) CopyToGuest(guest *VM, ref uint32, dst mem.GuestVirt, src []byte) error {
+	pt, err := h.validate(guest, ref, grant.KindCopyTo, dst, uint64(len(src)))
+	if err != nil {
+		return err
+	}
+	return h.copyGuest(guest, pt, dst, src, true)
+}
+
+// CopyFromGuest fills buf from the guest process's memory at src under a
+// copy-from-user grant.
+func (h *Hypervisor) CopyFromGuest(guest *VM, ref uint32, src mem.GuestVirt, buf []byte) error {
+	pt, err := h.validate(guest, ref, grant.KindCopyFrom, src, uint64(len(buf)))
+	if err != nil {
+		return err
+	}
+	return h.copyGuest(guest, pt, src, buf, false)
+}
+
+// copyGuest walks the guest page tables in software, then the EPT, page by
+// page — "contiguous pages in the VM address spaces are not necessarily
+// contiguous in the system physical address space" (§5.2).
+func (h *Hypervisor) copyGuest(guest *VM, pt *mem.PageTable, va mem.GuestVirt, buf []byte, write bool) error {
+	npages := int(mem.PagesSpanned(uint64(va), uint64(len(buf))))
+	perf.Charge(h.Env, perf.Copy(len(buf), npages))
+	addr := uint64(va)
+	for len(buf) > 0 {
+		access := mem.PermRead
+		if write {
+			access = mem.PermWrite
+		}
+		gpa, err := pt.Walk(mem.GuestVirt(addr), access)
+		if err != nil {
+			return err
+		}
+		// Privileged EPT walk: presence check only.
+		spa, err := guest.EPT.Translate(gpa, 0)
+		if err != nil {
+			return err
+		}
+		n := mem.PageSize - mem.PageOffset(addr)
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		if write {
+			err = h.Phys.Write(spa, buf[:n])
+		} else {
+			err = h.Phys.Read(spa, buf[:n])
+		}
+		if err != nil {
+			return err
+		}
+		addr += n
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// MapToGuest maps the driver VM's page frame pfn into the guest process at
+// va: the hypervisor picks an unused guest-physical page, fixes the EPT,
+// and fixes the last level of the guest page table (the CVD frontend has
+// pre-created the intermediate levels; §5.2). The request must be covered
+// by a map grant. If the page belongs to a protected memory region, the
+// region's owner must be this guest — the first attack of §4.2.
+func (h *Hypervisor) MapToGuest(guest *VM, ref uint32, va mem.GuestVirt, driver *VM, pfn mem.GuestPhys) error {
+	if !mem.PageAligned(uint64(va)) || !mem.PageAligned(uint64(pfn)) {
+		return fmt.Errorf("hv: unaligned MapToGuest %v -> %v", pfn, va)
+	}
+	pt, err := h.validate(guest, ref, grant.KindMapPage, va, mem.PageSize)
+	if err != nil {
+		return err
+	}
+	spa, err := driver.EPT.Translate(pfn, 0)
+	if err != nil {
+		return err
+	}
+	if region, prot := h.protPages[mem.Frame(uint64(spa))]; prot {
+		if r := h.regions[region]; r == nil || r.Owner != guest.ID {
+			return fmt.Errorf("hv: page %v belongs to another guest's protected region", pfn)
+		}
+	}
+	perf.Charge(h.Env, perf.CostMapPage)
+	gpa, err := guest.EPT.FindUnusedRange(mapWindowLo, mapWindowHi, 1)
+	if err != nil {
+		return err
+	}
+	if err := guest.EPT.Map(gpa, spa, mem.PermRW); err != nil {
+		return err
+	}
+	if err := pt.SetLeaf(va, gpa, mem.PermRW); err != nil {
+		_ = guest.EPT.Unmap(gpa)
+		return err
+	}
+	h.mapped[mapKey{guest.ID, pt.Root(), va}] = gpa
+	return nil
+}
+
+// UnmapFromGuest destroys the EPT mapping created by MapToGuest. Only the
+// EPT entry is touched: the guest kernel has already destroyed its own
+// page-table entry before informing the driver (§5.2).
+func (h *Hypervisor) UnmapFromGuest(guest *VM, ref uint32, va mem.GuestVirt) error {
+	pt, err := h.validate(guest, ref, grant.KindUnmap, va, mem.PageSize)
+	if err != nil {
+		return err
+	}
+	key := mapKey{guest.ID, pt.Root(), va}
+	gpa, ok := h.mapped[key]
+	if !ok {
+		return fmt.Errorf("hv: no hypervisor mapping at %v to unmap", va)
+	}
+	delete(h.mapped, key)
+	perf.Charge(h.Env, perf.CostMapPage)
+	return guest.EPT.Unmap(gpa)
+}

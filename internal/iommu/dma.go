@@ -1,0 +1,82 @@
+package iommu
+
+import (
+	"encoding/binary"
+
+	"paradice/internal/mem"
+)
+
+// DMA is a device's path to system memory: every access translates through
+// the device's IOMMU domain, page by page, before touching physical memory.
+// Devices have no other way to reach system RAM.
+type DMA struct {
+	Dom  *Domain
+	Phys *mem.PhysMem
+}
+
+// Read copies len(buf) bytes from bus address bus into buf.
+func (d *DMA) Read(bus BusAddr, buf []byte) error {
+	return d.access(bus, buf, mem.PermRead)
+}
+
+// Write copies data to bus address bus.
+func (d *DMA) Write(bus BusAddr, data []byte) error {
+	return d.access(bus, data, mem.PermWrite)
+}
+
+func (d *DMA) access(bus BusAddr, buf []byte, perm mem.Perm) error {
+	addr := uint64(bus)
+	for len(buf) > 0 {
+		spa, err := d.Dom.Translate(BusAddr(addr), perm)
+		if err != nil {
+			return err
+		}
+		n := mem.PageSize - mem.PageOffset(addr)
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		if perm == mem.PermWrite {
+			err = d.Phys.Write(spa, buf[:n])
+		} else {
+			err = d.Phys.Read(spa, buf[:n])
+		}
+		if err != nil {
+			return err
+		}
+		addr += n
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// ReadU32 reads a little-endian 32-bit word.
+func (d *DMA) ReadU32(bus BusAddr) (uint32, error) {
+	var b [4]byte
+	if err := d.Read(bus, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// WriteU32 writes a little-endian 32-bit word.
+func (d *DMA) WriteU32(bus BusAddr, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return d.Write(bus, b[:])
+}
+
+// ReadU64 reads a little-endian 64-bit word.
+func (d *DMA) ReadU64(bus BusAddr) (uint64, error) {
+	var b [8]byte
+	if err := d.Read(bus, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian 64-bit word.
+func (d *DMA) WriteU64(bus BusAddr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return d.Write(bus, b[:])
+}

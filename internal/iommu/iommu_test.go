@@ -1,0 +1,211 @@
+package iommu
+
+import (
+	"errors"
+	"testing"
+
+	"paradice/internal/mem"
+)
+
+func TestMapRangeTranslate(t *testing.T) {
+	d := NewDomain("nic")
+	if err := d.MapRange(0x10000, 0x400000, 4, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	spa, err := d.Translate(0x12345, mem.PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spa != 0x402345 {
+		t.Fatalf("Translate = %v, want spa:0x402345", spa)
+	}
+}
+
+func TestUnmappedDMAFaults(t *testing.T) {
+	d := NewDomain("nic")
+	_, err := d.Translate(0x99000, mem.PermRead)
+	var f *DMAFault
+	if !errors.As(err, &f) || f.Mapped {
+		t.Fatalf("err = %v, want unmapped DMAFault", err)
+	}
+}
+
+func TestPermissionDenied(t *testing.T) {
+	d := NewDomain("gpu")
+	// Write-only-for-device emulation (§5.3 change iv): the buffer is
+	// read-only to the device through the IOMMU.
+	if err := d.AddPage(RegionGlobal, 0x10000, 0x400000, mem.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Translate(0x10000, mem.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	_, err := d.Translate(0x10000, mem.PermWrite)
+	var f *DMAFault
+	if !errors.As(err, &f) || !f.Mapped {
+		t.Fatalf("err = %v, want mapped DMAFault", err)
+	}
+}
+
+func TestRegionSwitchExclusivity(t *testing.T) {
+	d := NewDomain("gpu")
+	if err := d.AddPage(1, 0x10000, 0x400000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPage(2, 0x20000, 0x500000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing live yet: neither region is active.
+	if _, err := d.Translate(0x10000, mem.PermRead); err == nil {
+		t.Fatal("region-1 page live before switch")
+	}
+	if err := d.Switch(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Translate(0x10000, mem.PermRead); err != nil {
+		t.Fatalf("region-1 page not live after switch: %v", err)
+	}
+	if _, err := d.Translate(0x20000, mem.PermRead); err == nil {
+		t.Fatal("region-2 page live while region 1 active — device can cross regions")
+	}
+	if err := d.Switch(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Translate(0x10000, mem.PermRead); err == nil {
+		t.Fatal("region-1 page still live after switch away")
+	}
+	if _, err := d.Translate(0x20000, mem.PermRead); err != nil {
+		t.Fatalf("region-2 page not live: %v", err)
+	}
+}
+
+func TestGlobalRegionSurvivesSwitches(t *testing.T) {
+	d := NewDomain("gpu")
+	if err := d.AddPage(RegionGlobal, 0x30000, 0x600000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPage(1, 0x10000, 0x400000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []RegionID{1, RegionGlobal, 1} {
+		if err := d.Switch(r); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Translate(0x30000, mem.PermRead); err != nil {
+			t.Fatalf("global page lost after switch to %d: %v", r, err)
+		}
+	}
+}
+
+func TestBusFrameUniqueAcrossRegions(t *testing.T) {
+	d := NewDomain("gpu")
+	if err := d.AddPage(1, 0x10000, 0x400000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPage(2, 0x10000, 0x500000, mem.PermRW); err == nil {
+		t.Fatal("same bus frame accepted in two regions")
+	}
+}
+
+func TestSwitchToUnknownRegionFails(t *testing.T) {
+	d := NewDomain("gpu")
+	if err := d.Switch(7); err == nil {
+		t.Fatal("switch to unknown region succeeded")
+	}
+}
+
+func TestUnmapHookFiresOnSwitch(t *testing.T) {
+	d := NewDomain("gpu")
+	var zeroed []mem.SysPhys
+	d.SetUnmapHook(func(bus BusAddr, spa mem.SysPhys) { zeroed = append(zeroed, spa) })
+	if err := d.AddPage(1, 0x10000, 0x400000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddPage(1, 0x11000, 0x401000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Switch(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Switch(RegionGlobal); err != nil {
+		t.Fatal(err)
+	}
+	if len(zeroed) != 2 {
+		t.Fatalf("unmap hook ran %d times, want 2", len(zeroed))
+	}
+}
+
+func TestRemovePage(t *testing.T) {
+	d := NewDomain("gpu")
+	if err := d.AddPage(RegionGlobal, 0x10000, 0x400000, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RemovePage(RegionGlobal, 0x10000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Translate(0x10000, mem.PermRead); err == nil {
+		t.Fatal("page still live after remove")
+	}
+	if err := d.RemovePage(RegionGlobal, 0x10000); err == nil {
+		t.Fatal("double remove should fail")
+	}
+}
+
+func TestDMAReadWrite(t *testing.T) {
+	phys := mem.NewPhysMem()
+	a := phys.NewAllocator("ram", 0x400000, 8*mem.PageSize)
+	spa, _ := a.AllocPages(2)
+	d := NewDomain("nic")
+	if err := d.MapRange(0x10000, spa, 2, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	dma := &DMA{Dom: d, Phys: phys}
+	data := make([]byte, mem.PageSize+100) // crosses the page boundary
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	if err := dma.Write(0x10800, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := dma.Read(0x10800, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	if err := dma.WriteU64(0x10000, 99); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dma.ReadU64(0x10000); v != 99 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if err := dma.WriteU32(0x10008, 77); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := dma.ReadU32(0x10008); v != 77 {
+		t.Fatalf("U32 = %d", v)
+	}
+}
+
+func TestDMAStopsAtRegionEdge(t *testing.T) {
+	phys := mem.NewPhysMem()
+	a := phys.NewAllocator("ram", 0x400000, 8*mem.PageSize)
+	spa, _ := a.AllocPages(2)
+	d := NewDomain("gpu")
+	if err := d.AddPage(1, 0x10000, spa, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Switch(1); err != nil {
+		t.Fatal(err)
+	}
+	dma := &DMA{Dom: d, Phys: phys}
+	// A DMA that starts inside the region but runs off its edge must fault.
+	err := dma.Write(0x10F00, make([]byte, 512))
+	var f *DMAFault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want DMAFault at the region edge", err)
+	}
+}

@@ -1,0 +1,198 @@
+package kernel
+
+import (
+	"paradice/internal/devfile"
+	"paradice/internal/mem"
+	"paradice/internal/perf"
+	"paradice/internal/sim"
+)
+
+// This file is the system-call layer: the entry points application code
+// uses to reach device files. Each call charges system-call cost and
+// dispatches to the device's file operations — which may belong to a real
+// driver (native and driver-VM cases) or to the CVD frontend (guest case).
+
+func (t *Task) charge(d sim.Duration) {
+	if t.sp != nil {
+		t.sp.Advance(d)
+	}
+}
+
+func (t *Task) file(fd int) (*File, error) {
+	f, ok := t.Proc.fds[fd]
+	if !ok {
+		return nil, EINVAL
+	}
+	return f, nil
+}
+
+// Open opens a device file and returns a file descriptor.
+func (t *Task) Open(path string, flags devfile.OpenFlags) (int, error) {
+	t.charge(perf.CostSyscall)
+	node, ok := t.Proc.K.LookupDevice(path)
+	if !ok {
+		return -1, ENOENT
+	}
+	f := &File{Node: node, Flags: flags, Proc: t.Proc, refs: 1}
+	c := &FopCtx{Task: t, File: f}
+	if err := node.Ops.Open(c); err != nil {
+		return -1, err
+	}
+	fd := t.Proc.nextFD
+	t.Proc.nextFD++
+	t.Proc.fds[fd] = f
+	return fd, nil
+}
+
+// Close releases a file descriptor, invoking the driver's release handler
+// on the last reference.
+func (t *Task) Close(fd int) error {
+	t.charge(perf.CostSyscall)
+	f, err := t.file(fd)
+	if err != nil {
+		return err
+	}
+	delete(t.Proc.fds, fd)
+	f.refs--
+	if f.refs == 0 {
+		return f.Node.Ops.Release(&FopCtx{Task: t, File: f})
+	}
+	return nil
+}
+
+// Read reads up to n bytes of device data into the user buffer at buf.
+func (t *Task) Read(fd int, buf mem.GuestVirt, n int) (int, error) {
+	t.charge(perf.CostSyscall)
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.Node.Ops.Read(&FopCtx{Task: t, File: f}, buf, n)
+}
+
+// Write writes up to n bytes from the user buffer at buf to the device.
+func (t *Task) Write(fd int, buf mem.GuestVirt, n int) (int, error) {
+	t.charge(perf.CostSyscall)
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.Node.Ops.Write(&FopCtx{Task: t, File: f}, buf, n)
+}
+
+// Ioctl issues a device-specific command. arg is the untyped pointer
+// argument — for _IOR/_IOW/_IOWR commands, a user-space address.
+func (t *Task) Ioctl(fd int, cmd devfile.IoctlCmd, arg mem.GuestVirt) (int32, error) {
+	t.charge(perf.CostSyscall)
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	return f.Node.Ops.Ioctl(&FopCtx{Task: t, File: f}, cmd, arg)
+}
+
+// Mmap maps length bytes of the device at page offset pgoff into the
+// process address space and returns the chosen virtual address.
+func (t *Task) Mmap(fd int, length uint64, pgoff uint64) (mem.GuestVirt, error) {
+	t.charge(perf.CostSyscall)
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	if length == 0 {
+		return 0, EINVAL
+	}
+	base, err := t.Proc.reserveMmapRange(length)
+	if err != nil {
+		return 0, err
+	}
+	v := &VMA{Proc: t.Proc, Start: base, Len: length, File: f, Pgoff: pgoff}
+	if t.Proc.K.Flavor == FreeBSD && !t.Proc.K.freeBSDMmapPatch {
+		// Unpatched FreeBSD does not hand the handler the VA range the
+		// mapping will occupy; the CVD frontend (and the Linux drivers
+		// behind it) need those addresses, which is why the paper adds
+		// ~12 LoC to the FreeBSD kernel (§5.1).
+		v = &VMA{Proc: t.Proc, Len: length, File: f, Pgoff: pgoff}
+	}
+	if err := f.Node.Ops.Mmap(&FopCtx{Task: t, File: f}, v); err != nil {
+		return 0, err
+	}
+	v.Start = base
+	t.Proc.vmas = append(t.Proc.vmas, v)
+	return base, nil
+}
+
+// Munmap tears down an mmap'ed range: the kernel destroys its own
+// page-table entries first, and only then informs the mapping's owner
+// (driver or CVD frontend), per the ordering in §5.2.
+func (t *Task) Munmap(va mem.GuestVirt, length uint64) error {
+	t.charge(perf.CostSyscall)
+	var v *VMA
+	var idx int
+	for i, cand := range t.Proc.vmas {
+		if cand.Start == va && cand.Len == length {
+			v, idx = cand, i
+			break
+		}
+	}
+	if v == nil {
+		return EINVAL
+	}
+	for page := range v.mapped {
+		if err := t.Proc.PT.Unmap(page); err != nil {
+			return err
+		}
+	}
+	t.Proc.vmas = append(t.Proc.vmas[:idx], t.Proc.vmas[idx+1:]...)
+	if v.OnUnmap != nil {
+		return v.OnUnmap(&FopCtx{Task: t, File: v.File}, v)
+	}
+	return nil
+}
+
+// Poll waits up to timeout for any event in want on fd, returning the ready
+// mask (0 on timeout). A negative timeout means wait forever.
+func (t *Task) Poll(fd int, want devfile.PollMask, timeout sim.Duration) (devfile.PollMask, error) {
+	t.charge(perf.CostSyscall)
+	f, err := t.file(fd)
+	if err != nil {
+		return 0, err
+	}
+	c := &FopCtx{Task: t, File: f}
+	deadline := t.Proc.K.Env.Now().Add(timeout)
+	for {
+		pt := t.Proc.K.NewPollTable()
+		pt.Want = want
+		mask := f.Node.Ops.Poll(c, pt)
+		if mask&(want|devfile.PollErr|devfile.PollHup) != 0 {
+			return mask, nil
+		}
+		var wait sim.Duration
+		if timeout < 0 {
+			wait = sim.Duration(1 << 60)
+		} else {
+			wait = deadline.Sub(t.Proc.K.Env.Now())
+			if wait <= 0 {
+				return 0, nil
+			}
+		}
+		if !pt.wait(t, wait) && timeout >= 0 {
+			return 0, nil
+		}
+	}
+}
+
+// SetFasync arms or disarms SIGIO notification on fd (the fcntl FASYNC
+// path; §2.1's asynchronous notification).
+func (t *Task) SetFasync(fd int, on bool) error {
+	t.charge(perf.CostSyscall)
+	f, err := t.file(fd)
+	if err != nil {
+		return err
+	}
+	if err := f.Node.Ops.Fasync(&FopCtx{Task: t, File: f}, on); err != nil {
+		return err
+	}
+	f.FasyncOn = on
+	return nil
+}

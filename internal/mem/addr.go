@@ -1,0 +1,53 @@
+// Package mem simulates the memory system Paradice runs on: sparse system
+// physical memory made of 4 KiB frames, extended page tables (EPTs) mapping
+// guest-physical to system-physical addresses with permissions, and
+// PAE-style guest page tables whose entries live inside simulated guest
+// frames and are walked in software — exactly the walk the Paradice
+// hypervisor performs in §5.2 of the paper.
+package mem
+
+import "fmt"
+
+// PageSize is the size of a memory page/frame in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// SysPhys is a system (host) physical address.
+type SysPhys uint64
+
+// GuestPhys is a guest physical address, translated to SysPhys by an EPT.
+type GuestPhys uint64
+
+// GuestVirt is a guest virtual address, translated to GuestPhys by the
+// guest's own page tables. Guests are 32-bit x86 PAE per the paper, so only
+// the low 32 bits are meaningful.
+type GuestVirt uint64
+
+// PageAligned reports whether a is a multiple of PageSize.
+func PageAligned(a uint64) bool { return a&(PageSize-1) == 0 }
+
+// PageBase returns a rounded down to a page boundary.
+func PageBase(a uint64) uint64 { return a &^ (PageSize - 1) }
+
+// PageOffset returns the offset of a within its page.
+func PageOffset(a uint64) uint64 { return a & (PageSize - 1) }
+
+// Frame returns the frame number containing a.
+func Frame(a uint64) uint64 { return a >> PageShift }
+
+// PagesSpanned returns how many pages the byte range [addr, addr+size)
+// touches. A zero-size range touches no pages.
+func PagesSpanned(addr, size uint64) uint64 {
+	if size == 0 {
+		return 0
+	}
+	first := Frame(addr)
+	last := Frame(addr + size - 1)
+	return last - first + 1
+}
+
+func (a SysPhys) String() string   { return fmt.Sprintf("spa:%#x", uint64(a)) }
+func (a GuestPhys) String() string { return fmt.Sprintf("gpa:%#x", uint64(a)) }
+func (a GuestVirt) String() string { return fmt.Sprintf("gva:%#x", uint64(a)) }

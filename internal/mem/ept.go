@@ -1,0 +1,112 @@
+package mem
+
+import "fmt"
+
+// EPT is an extended page table: the hypervisor-maintained second-level
+// translation from guest-physical to system-physical addresses, with
+// per-page read/write permissions. One EPT exists per VM.
+//
+// Device data isolation (§4.2) works by removing permissions here: the
+// driver VM's EPT entries for protected memory regions lose PermRead (and,
+// because x86 has no write-only mappings, PermWrite too).
+type EPT struct {
+	entries map[uint64]eptEntry // guest frame number -> entry
+}
+
+type eptEntry struct {
+	spa  SysPhys
+	perm Perm
+}
+
+// NewEPT returns an empty EPT.
+func NewEPT() *EPT {
+	return &EPT{entries: make(map[uint64]eptEntry)}
+}
+
+// Map installs a translation for the page at gpa. Both addresses must be
+// page-aligned and the slot must be empty.
+func (e *EPT) Map(gpa GuestPhys, spa SysPhys, perm Perm) error {
+	if !PageAligned(uint64(gpa)) || !PageAligned(uint64(spa)) {
+		return fmt.Errorf("ept: unaligned map %v -> %v", gpa, spa)
+	}
+	f := Frame(uint64(gpa))
+	if _, ok := e.entries[f]; ok {
+		return fmt.Errorf("ept: %v already mapped", gpa)
+	}
+	e.entries[f] = eptEntry{spa: spa, perm: perm}
+	return nil
+}
+
+// Unmap removes the translation for the page at gpa.
+func (e *EPT) Unmap(gpa GuestPhys) error {
+	f := Frame(uint64(gpa))
+	if _, ok := e.entries[f]; !ok {
+		return fmt.Errorf("ept: unmap of unmapped %v", gpa)
+	}
+	delete(e.entries, f)
+	return nil
+}
+
+// SetPerm changes the permissions of an existing mapping.
+func (e *EPT) SetPerm(gpa GuestPhys, perm Perm) error {
+	f := Frame(uint64(gpa))
+	ent, ok := e.entries[f]
+	if !ok {
+		return fmt.Errorf("ept: SetPerm of unmapped %v", gpa)
+	}
+	ent.perm = perm
+	e.entries[f] = ent
+	return nil
+}
+
+// Lookup returns the mapping for the page containing gpa, if present.
+func (e *EPT) Lookup(gpa GuestPhys) (spa SysPhys, perm Perm, ok bool) {
+	ent, ok := e.entries[Frame(uint64(gpa))]
+	return ent.spa, ent.perm, ok
+}
+
+// Mapped reports whether the page containing gpa has a translation.
+func (e *EPT) Mapped(gpa GuestPhys) bool {
+	_, ok := e.entries[Frame(uint64(gpa))]
+	return ok
+}
+
+// Translate converts gpa to a system physical address, checking that the
+// mapping allows the requested access. The page offset is preserved.
+func (e *EPT) Translate(gpa GuestPhys, access Perm) (SysPhys, error) {
+	ent, ok := e.entries[Frame(uint64(gpa))]
+	if !ok {
+		return 0, &EPTViolation{GPA: gpa, Access: access}
+	}
+	if !ent.perm.Allows(access) {
+		return 0, &EPTViolation{GPA: gpa, Access: access, Allowed: ent.perm, Mapped: true}
+	}
+	return ent.spa + SysPhys(PageOffset(uint64(gpa))), nil
+}
+
+// FindUnusedRange returns the guest-physical address of n consecutive
+// unmapped pages within [lo, hi). This is how the hypervisor picks guest
+// physical page addresses for cross-VM mmap (§5.2: "the hypervisor finds
+// unused page addresses in the guest and uses them for this purpose").
+func (e *EPT) FindUnusedRange(lo, hi GuestPhys, n int) (GuestPhys, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("ept: FindUnusedRange(%d)", n)
+	}
+	run := 0
+	start := Frame(uint64(lo))
+	for f := Frame(uint64(lo)); f < Frame(uint64(hi)); f++ {
+		if _, used := e.entries[f]; used {
+			run = 0
+			start = f + 1
+			continue
+		}
+		run++
+		if run == n {
+			return GuestPhys(start << PageShift), nil
+		}
+	}
+	return 0, fmt.Errorf("ept: no %d-page gap in [%v, %v)", n, lo, hi)
+}
+
+// Count returns the number of mapped pages (diagnostics).
+func (e *EPT) Count() int { return len(e.entries) }

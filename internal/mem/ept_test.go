@@ -1,0 +1,198 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEPTMapTranslate(t *testing.T) {
+	e := NewEPT()
+	if err := e.Map(0x10000, 0x400000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	spa, err := e.Translate(0x10123, PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spa != 0x400123 {
+		t.Fatalf("Translate = %v, want spa:0x400123", spa)
+	}
+}
+
+func TestEPTDoubleMapFails(t *testing.T) {
+	e := NewEPT()
+	if err := e.Map(0x10000, 0x400000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Map(0x10000, 0x500000, PermRW); err == nil {
+		t.Fatal("double map succeeded")
+	}
+}
+
+func TestEPTViolationUnmapped(t *testing.T) {
+	e := NewEPT()
+	_, err := e.Translate(0x999000, PermRead)
+	var v *EPTViolation
+	if !errors.As(err, &v) || v.Mapped {
+		t.Fatalf("err = %v, want unmapped EPTViolation", err)
+	}
+}
+
+func TestEPTPermissionEnforced(t *testing.T) {
+	e := NewEPT()
+	if err := e.Map(0x10000, 0x400000, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Translate(0x10000, PermRead); err != nil {
+		t.Fatalf("read with read perm: %v", err)
+	}
+	_, err := e.Translate(0x10000, PermWrite)
+	var v *EPTViolation
+	if !errors.As(err, &v) || !v.Mapped {
+		t.Fatalf("write with read-only perm: err = %v, want mapped EPTViolation", err)
+	}
+}
+
+// Translate with zero access bits is a presence-only check: this is the
+// hypervisor's privileged walk, which must work even on pages whose EPT
+// permissions have been stripped for device data isolation.
+func TestEPTPrivilegedWalkIgnoresPerms(t *testing.T) {
+	e := NewEPT()
+	if err := e.Map(0x10000, 0x400000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Translate(0x10000, 0); err != nil {
+		t.Fatalf("presence-only translate failed: %v", err)
+	}
+	if _, err := e.Translate(0x10000, PermRead); err == nil {
+		t.Fatal("read of no-perm page should fault")
+	}
+}
+
+func TestEPTSetPerm(t *testing.T) {
+	e := NewEPT()
+	if err := e.Map(0x10000, 0x400000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetPerm(0x10000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Translate(0x10000, PermRead); err == nil {
+		t.Fatal("read after perm strip should fault")
+	}
+	if err := e.SetPerm(0x20000, PermRW); err == nil {
+		t.Fatal("SetPerm of unmapped page should fail")
+	}
+}
+
+func TestEPTUnmap(t *testing.T) {
+	e := NewEPT()
+	if err := e.Map(0x10000, 0x400000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Unmap(0x10000); err != nil {
+		t.Fatal(err)
+	}
+	if e.Mapped(0x10000) {
+		t.Fatal("still mapped after unmap")
+	}
+	if err := e.Unmap(0x10000); err == nil {
+		t.Fatal("double unmap should fail")
+	}
+}
+
+func TestEPTFindUnusedRange(t *testing.T) {
+	e := NewEPT()
+	// Occupy pages 0,1,2 and 4 of the window; 3 is free, 5.. are free.
+	lo, hi := GuestPhys(0x100000), GuestPhys(0x200000)
+	for _, f := range []uint64{0, 1, 2, 4} {
+		if err := e.Map(lo+GuestPhys(f*PageSize), SysPhys(0x400000+f*PageSize), PermRW); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := e.FindUnusedRange(lo, hi, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != lo+3*PageSize {
+		t.Fatalf("1-page gap at %v, want %v", got, lo+3*PageSize)
+	}
+	got, err = e.FindUnusedRange(lo, hi, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != lo+5*PageSize {
+		t.Fatalf("2-page gap at %v, want %v", got, lo+5*PageSize)
+	}
+	if _, err := e.FindUnusedRange(lo, lo+2*PageSize, 1); err == nil {
+		t.Fatal("full window should report no gap")
+	}
+}
+
+func TestGuestSpaceEnforcesEPT(t *testing.T) {
+	phys := NewPhysMem()
+	a := phys.NewAllocator("ram", 0, 16*PageSize)
+	spa, _ := a.AllocPage()
+	ept := NewEPT()
+	if err := ept.Map(0x5000, spa, PermRead); err != nil {
+		t.Fatal(err)
+	}
+	s := &GuestSpace{Phys: phys, EPT: ept}
+	if err := s.Write(0x5000, []byte{1}); err == nil {
+		t.Fatal("write through read-only EPT mapping should fail")
+	}
+	if err := ept.SetPerm(0x5000, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteU64(0x5010, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.ReadU64(0x5010)
+	if err != nil || v != 42 {
+		t.Fatalf("roundtrip via guest space: v=%d err=%v", v, err)
+	}
+}
+
+func TestGuestSpaceCrossPage(t *testing.T) {
+	phys := NewPhysMem()
+	a := phys.NewAllocator("ram", 0, 16*PageSize)
+	spa1, _ := a.AllocPage()
+	// A hole, then the next backing frame — guest-contiguous pages need not
+	// be system-contiguous (§5.2: translation must be per page).
+	if _, err := a.AllocPage(); err != nil {
+		t.Fatal(err)
+	}
+	spa2, _ := a.AllocPage()
+	ept := NewEPT()
+	if err := ept.Map(0x10000, spa1, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := ept.Map(0x11000, spa2, PermRW); err != nil {
+		t.Fatal(err)
+	}
+	s := &GuestSpace{Phys: phys, EPT: ept}
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := s.Write(0x10F00, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 300)
+	if err := s.Read(0x10F00, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d mismatch", i)
+		}
+	}
+	// Verify the split actually landed in two discontiguous frames.
+	var b1 [1]byte
+	if err := phys.Read(spa1+0xF00, b1[:]); err != nil || b1[0] != 0 {
+		t.Fatalf("first frame byte = %d err=%v", b1[0], err)
+	}
+	if err := phys.Read(spa2, b1[:]); err != nil || b1[0] != 0 {
+		t.Fatalf("second frame byte = %d err=%v", b1[0], err)
+	}
+}

@@ -1,0 +1,162 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestPageHelpers(t *testing.T) {
+	if PageBase(0x1234) != 0x1000 {
+		t.Errorf("PageBase(0x1234) = %#x", PageBase(0x1234))
+	}
+	if PageOffset(0x1234) != 0x234 {
+		t.Errorf("PageOffset(0x1234) = %#x", PageOffset(0x1234))
+	}
+	if Frame(0x1234) != 1 {
+		t.Errorf("Frame(0x1234) = %d", Frame(0x1234))
+	}
+	if PagesSpanned(0xFFF, 2) != 2 {
+		t.Errorf("PagesSpanned(0xFFF,2) = %d, want 2", PagesSpanned(0xFFF, 2))
+	}
+	if PagesSpanned(0, 0) != 0 {
+		t.Errorf("PagesSpanned(0,0) = %d, want 0", PagesSpanned(0, 0))
+	}
+	if PagesSpanned(0, PageSize) != 1 {
+		t.Errorf("PagesSpanned(0,PageSize) = %d, want 1", PagesSpanned(0, PageSize))
+	}
+}
+
+func TestPhysReadWriteRoundtrip(t *testing.T) {
+	m := NewPhysMem()
+	a := m.NewAllocator("ram", 0, 16*PageSize)
+	base, err := a.AllocPages(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 2*PageSize+100) // crosses two page boundaries
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	start := base + 500
+	if err := m.Write(start, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := m.Read(start, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("cross-page roundtrip mismatch")
+	}
+}
+
+func TestPhysBusError(t *testing.T) {
+	m := NewPhysMem()
+	err := m.Read(0x100000, make([]byte, 8))
+	if _, ok := err.(*BusError); !ok {
+		t.Fatalf("read of unbacked memory: err = %v, want BusError", err)
+	}
+	err = m.Write(0x100000, []byte{1})
+	if _, ok := err.(*BusError); !ok {
+		t.Fatalf("write of unbacked memory: err = %v, want BusError", err)
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	m := NewPhysMem()
+	a := m.NewAllocator("tiny", 0, 2*PageSize)
+	if _, err := a.AllocPage(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocPage(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocPage(); err == nil {
+		t.Fatal("third page from a 2-page range should fail")
+	}
+}
+
+func TestRangeOverlapPanics(t *testing.T) {
+	m := NewPhysMem()
+	m.AddRange("a", 0, 4*PageSize)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping AddRange did not panic")
+		}
+	}()
+	m.AddRange("b", 2*PageSize, 4*PageSize)
+}
+
+func TestZero(t *testing.T) {
+	m := NewPhysMem()
+	a := m.NewAllocator("ram", 0, 4*PageSize)
+	base, _ := a.AllocPages(2)
+	fill := bytes.Repeat([]byte{0xAA}, 2*PageSize)
+	if err := m.Write(base, fill); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Zero(base+100, PageSize); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2*PageSize)
+	if err := m.Read(base, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		want := byte(0xAA)
+		if i >= 100 && i < 100+PageSize {
+			want = 0
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+}
+
+func TestU64Roundtrip(t *testing.T) {
+	m := NewPhysMem()
+	a := m.NewAllocator("ram", 0, PageSize)
+	base, _ := a.AllocPage()
+	if err := m.WriteU64(base+8, 0xDEADBEEFCAFEF00D); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadU64(base + 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEFCAFEF00D {
+		t.Fatalf("ReadU64 = %#x", v)
+	}
+}
+
+// Property: writing a random blob at a random in-range offset then reading
+// it back returns the identical blob.
+func TestPropertyPhysRoundtrip(t *testing.T) {
+	m := NewPhysMem()
+	a := m.NewAllocator("ram", 0, 64*PageSize)
+	base, _ := a.AllocPages(64)
+	f := func(off uint16, blob []byte) bool {
+		if len(blob) > 32*PageSize {
+			blob = blob[:32*PageSize]
+		}
+		start := base + SysPhys(off)
+		if err := m.Write(start, blob); err != nil {
+			return false
+		}
+		got := make([]byte, len(blob))
+		if err := m.Read(start, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, blob)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermString(t *testing.T) {
+	if PermRW.String() != "rw" || PermRead.String() != "r-" || Perm(0).String() != "--" {
+		t.Fatalf("perm strings wrong: %q %q %q", PermRW, PermRead, Perm(0))
+	}
+}

@@ -1,0 +1,67 @@
+package mem
+
+import "encoding/binary"
+
+// GuestSpace is a VM's view of its guest-physical address space: every
+// access translates through the VM's EPT (enforcing EPT permissions) and
+// lands in system physical memory.
+//
+// All simulated CPU work inside a VM — kernel code, drivers, applications —
+// touches memory through a GuestSpace. That single choke point is what makes
+// the isolation arguments of §4 testable: if the driver VM's EPT forbids
+// reading a protected region, no code path in the driver VM can read it.
+type GuestSpace struct {
+	Phys *PhysMem
+	EPT  *EPT
+}
+
+// Read copies len(buf) bytes from guest-physical gpa, page by page.
+func (s *GuestSpace) Read(gpa GuestPhys, buf []byte) error {
+	return s.access(gpa, buf, PermRead)
+}
+
+// Write copies data to guest-physical gpa, page by page.
+func (s *GuestSpace) Write(gpa GuestPhys, data []byte) error {
+	return s.access(gpa, data, PermWrite)
+}
+
+func (s *GuestSpace) access(gpa GuestPhys, buf []byte, perm Perm) error {
+	addr := uint64(gpa)
+	for len(buf) > 0 {
+		spa, err := s.EPT.Translate(GuestPhys(addr), perm)
+		if err != nil {
+			return err
+		}
+		n := PageSize - PageOffset(addr)
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		if perm == PermWrite {
+			err = s.Phys.Write(spa, buf[:n])
+		} else {
+			err = s.Phys.Read(spa, buf[:n])
+		}
+		if err != nil {
+			return err
+		}
+		addr += n
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// ReadU64 reads a little-endian 64-bit word at gpa.
+func (s *GuestSpace) ReadU64(gpa GuestPhys) (uint64, error) {
+	var b [8]byte
+	if err := s.Read(gpa, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian 64-bit word at gpa.
+func (s *GuestSpace) WriteU64(gpa GuestPhys, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return s.Write(gpa, b[:])
+}

@@ -1,0 +1,79 @@
+package mem
+
+import "encoding/binary"
+
+// VirtSpace is a process's view of memory: guest-virtual addresses
+// translated by the process page table, then by the VM's EPT. This is the
+// access path for simulated CPU code running inside a VM, so both
+// page-table permissions and EPT permissions apply.
+type VirtSpace struct {
+	PT    *PageTable
+	Space *GuestSpace
+}
+
+// Read copies len(buf) bytes from guest-virtual va.
+func (v *VirtSpace) Read(va GuestVirt, buf []byte) error {
+	return v.access(va, buf, PermRead)
+}
+
+// Write copies data to guest-virtual va.
+func (v *VirtSpace) Write(va GuestVirt, data []byte) error {
+	return v.access(va, data, PermWrite)
+}
+
+func (v *VirtSpace) access(va GuestVirt, buf []byte, perm Perm) error {
+	addr := uint64(va)
+	for len(buf) > 0 {
+		gpa, err := v.PT.Walk(GuestVirt(addr), perm)
+		if err != nil {
+			return err
+		}
+		n := PageSize - PageOffset(addr)
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		if perm == PermWrite {
+			err = v.Space.Write(gpa, buf[:n])
+		} else {
+			err = v.Space.Read(gpa, buf[:n])
+		}
+		if err != nil {
+			return err
+		}
+		addr += n
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// ReadU32 reads a little-endian 32-bit word at va.
+func (v *VirtSpace) ReadU32(va GuestVirt) (uint32, error) {
+	var b [4]byte
+	if err := v.Read(va, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// WriteU32 writes a little-endian 32-bit word at va.
+func (v *VirtSpace) WriteU32(va GuestVirt, x uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], x)
+	return v.Write(va, b[:])
+}
+
+// ReadU64 reads a little-endian 64-bit word at va.
+func (v *VirtSpace) ReadU64(va GuestVirt) (uint64, error) {
+	var b [8]byte
+	if err := v.Read(va, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteU64 writes a little-endian 64-bit word at va.
+func (v *VirtSpace) WriteU64(va GuestVirt, x uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], x)
+	return v.Write(va, b[:])
+}

@@ -1,0 +1,197 @@
+// Package usrlib contains the user-space device libraries the workloads
+// link against — the role Mesa/Gallium, libdrm, and the netmap API play in
+// the paper's evaluation. Everything here runs as guest application code:
+// it touches the device only through file operations on the device file and
+// through memory the device file mmaps, which is exactly why it works
+// unchanged on native, device-assignment, and Paradice platforms.
+package usrlib
+
+import (
+	"encoding/binary"
+	"math"
+
+	"paradice/internal/devfile"
+	"paradice/internal/device/gpu"
+	"paradice/internal/driver/drm"
+	"paradice/internal/kernel"
+	"paradice/internal/mem"
+)
+
+// GPUCtx is a libdrm-style connection to the GPU device file.
+type GPUCtx struct {
+	T  *kernel.Task
+	P  *kernel.Process
+	FD int
+
+	// scratch is a reusable user buffer for ioctl argument structs and
+	// command-stream staging.
+	scratch mem.GuestVirt
+}
+
+const scratchSize = 2 * mem.PageSize
+
+// OpenGPU opens the GPU device file and prepares the scratch area.
+func OpenGPU(t *kernel.Task, path string) (*GPUCtx, error) {
+	fd, err := t.Open(path, devfile.ORdWr)
+	if err != nil {
+		return nil, err
+	}
+	scratch, err := t.Proc.Alloc(scratchSize)
+	if err != nil {
+		return nil, err
+	}
+	return &GPUCtx{T: t, P: t.Proc, FD: fd, scratch: scratch}, nil
+}
+
+// Close releases the device file.
+func (g *GPUCtx) Close() error { return g.T.Close(g.FD) }
+
+func (g *GPUCtx) ioctl(cmd devfile.IoctlCmd, arg []byte) (int32, []byte, error) {
+	if err := g.P.Mem.Write(g.scratch, arg); err != nil {
+		return 0, nil, err
+	}
+	ret, err := g.T.Ioctl(g.FD, cmd, g.scratch)
+	if err != nil {
+		return ret, nil, err
+	}
+	out := make([]byte, len(arg))
+	if err := g.P.Mem.Read(g.scratch, out); err != nil {
+		return ret, nil, err
+	}
+	return ret, out, nil
+}
+
+// Info queries the device identity.
+func (g *GPUCtx) Info() (vendor, device uint32, vram uint64, err error) {
+	_, out, err := g.ioctl(drm.IoctlInfo, make([]byte, 32))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return binary.LittleEndian.Uint32(out[0:]),
+		binary.LittleEndian.Uint32(out[4:]),
+		binary.LittleEndian.Uint64(out[8:]), nil
+}
+
+// CreateBO allocates a VRAM buffer object and returns its handle.
+func (g *GPUCtx) CreateBO(size uint64) (uint32, error) {
+	arg := make([]byte, 16)
+	binary.LittleEndian.PutUint64(arg[0:], size)
+	_, out, err := g.ioctl(drm.IoctlGemCreate, arg)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(out[0:]), nil
+}
+
+// MapBO maps a buffer object into the application and returns its address.
+func (g *GPUCtx) MapBO(handle uint32, size uint64) (mem.GuestVirt, error) {
+	arg := make([]byte, 16)
+	binary.LittleEndian.PutUint32(arg[0:], handle)
+	_, out, err := g.ioctl(drm.IoctlGemMmap, arg)
+	if err != nil {
+		return 0, err
+	}
+	pgoff := binary.LittleEndian.Uint64(out[8:])
+	return g.T.Mmap(g.FD, size, pgoff)
+}
+
+// UnmapBO unmaps a previously mapped buffer object.
+func (g *GPUCtx) UnmapBO(va mem.GuestVirt, size uint64) error {
+	return g.T.Munmap(va, size)
+}
+
+// SubmitIB encodes a command stream as a one-chunk CS ioctl: the header and
+// chunk descriptor are built in user memory, so the driver's nested copies
+// execute against real application bytes. Returns the fence sequence.
+func (g *GPUCtx) SubmitIB(words []uint32) (uint32, error) {
+	// Layout within scratch: [0:16) header, [16:32) chunk desc,
+	// [64: ...) IB words.
+	ibOff := mem.GuestVirt(64)
+	ib := make([]byte, len(words)*4)
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(ib[i*4:], w)
+	}
+	if len(ib) > scratchSize-64 {
+		return 0, kernel.EINVAL
+	}
+	if err := g.P.Mem.Write(g.scratch+ibOff, ib); err != nil {
+		return 0, err
+	}
+	desc := make([]byte, 16)
+	binary.LittleEndian.PutUint64(desc[0:], uint64(g.scratch+ibOff))
+	binary.LittleEndian.PutUint32(desc[8:], uint32(len(words)))
+	binary.LittleEndian.PutUint32(desc[12:], drm.ChunkIB)
+	descOff := mem.GuestVirt(16)
+	if err := g.P.Mem.Write(g.scratch+descOff, desc); err != nil {
+		return 0, err
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], 1) // one chunk
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.scratch+descOff))
+	if err := g.P.Mem.Write(g.scratch, hdr); err != nil {
+		return 0, err
+	}
+	ret, err := g.T.Ioctl(g.FD, drm.IoctlCS, g.scratch)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(ret), nil
+}
+
+// WaitFence blocks until the fence has signaled.
+func (g *GPUCtx) WaitFence(fence uint32) error {
+	arg := make([]byte, 8)
+	binary.LittleEndian.PutUint32(arg[0:], fence)
+	// The wait argument lives past the CS staging area in scratch.
+	waitOff := mem.GuestVirt(32)
+	if err := g.P.Mem.Write(g.scratch+waitOff, arg); err != nil {
+		return err
+	}
+	_, err := g.T.Ioctl(g.FD, drm.IoctlWaitFence, g.scratch+waitOff)
+	return err
+}
+
+// Draw submits a draw of the given GPU work with an optional texture and
+// waits for it — one frame's worth of rendering.
+func (g *GPUCtx) Draw(dst, tex uint32, cycles uint64) error {
+	fence, err := g.SubmitIB([]uint32{
+		gpu.OpDraw, dst, tex, uint32(cycles), uint32(cycles >> 32),
+	})
+	if err != nil {
+		return err
+	}
+	return g.WaitFence(fence)
+}
+
+// Compute submits an order-n matrix multiplication C = A*B over three
+// buffer objects and waits for completion.
+func (g *GPUCtx) Compute(a, b, c uint32, n int) error {
+	fence, err := g.SubmitIB([]uint32{gpu.OpCompute, a, b, c, uint32(n)})
+	if err != nil {
+		return err
+	}
+	return g.WaitFence(fence)
+}
+
+// WriteF32 stores a float32 slice into mapped memory (with page-fault
+// handling, since mapped buffer objects fault in on first touch).
+func (g *GPUCtx) WriteF32(va mem.GuestVirt, data []float32) error {
+	buf := make([]byte, len(data)*4)
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	return g.P.UserWrite(g.T, va, buf)
+}
+
+// ReadF32 loads a float32 slice from mapped memory.
+func (g *GPUCtx) ReadF32(va mem.GuestVirt, n int) ([]float32, error) {
+	buf := make([]byte, n*4)
+	if err := g.P.UserRead(g.T, va, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,297 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paradice/internal/kernel"
+	"paradice/internal/mem"
+	"paradice/internal/perf"
+	"paradice/internal/sim"
+	"paradice/internal/usrlib"
+)
+
+// GLResult is one rendering benchmark's outcome.
+type GLResult struct {
+	Spec   GLSpec
+	Frames int
+	FPS    float64
+}
+
+// RunGL renders the workload for the given number of frames on the kernel's
+// device file and reports the average FPS (VSync disabled, as in §6.1.3).
+func RunGL(env *sim.Env, k *kernel.Kernel, spec GLSpec, frames int) (GLResult, error) {
+	res := GLResult{Spec: spec, Frames: frames}
+	var runErr error
+	p, err := k.NewProcess("gl-" + spec.Name)
+	if err != nil {
+		return res, err
+	}
+	p.SpawnTask("render", func(t *kernel.Task) {
+		g, err := usrlib.OpenGPU(t, "/dev/dri/card0")
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer g.Close()
+		fb, err := g.CreateBO(1 << 20) // framebuffer
+		if err != nil {
+			runErr = err
+			return
+		}
+		tex, err := g.CreateBO(1 << 20) // texture/vertex staging
+		if err != nil {
+			runErr = err
+			return
+		}
+		var texVA mem.GuestVirt
+		if spec.UploadBytes > 0 {
+			texVA, err = g.MapBO(tex, 1<<20)
+			if err != nil {
+				runErr = err
+				return
+			}
+		}
+		upload := make([]byte, spec.UploadBytes)
+		start := t.Sim().Now()
+		for f := 0; f < frames; f++ {
+			t.Sim().Advance(sim.Duration(spec.CPUPrep))
+			if spec.UploadBytes > 0 {
+				// Stream geometry/textures through the mapped BO; charge
+				// the application-side memcpy.
+				for i := range upload {
+					upload[i] = byte(f + i)
+				}
+				if err := p.UserWrite(t, texVA, upload); err != nil {
+					runErr = err
+					return
+				}
+				t.Sim().Advance(perf.Copy(spec.UploadBytes, spec.UploadBytes/mem.PageSize+1))
+			}
+			// The auxiliary per-frame ioctls: state changes, BO bookkeeping.
+			for i := 0; i < spec.Ioctls; i++ {
+				if _, _, _, err := g.Info(); err != nil {
+					runErr = err
+					return
+				}
+			}
+			if err := g.Draw(fb, tex, spec.DrawCycles); err != nil {
+				runErr = err
+				return
+			}
+		}
+		elapsed := t.Sim().Now().Sub(start)
+		res.FPS = float64(frames) / elapsed.Seconds()
+	})
+	env.Run()
+	return res, runErr
+}
+
+// MatmulResult is one OpenCL benchmark run.
+type MatmulResult struct {
+	Order   int
+	Elapsed sim.Duration
+	Correct bool
+}
+
+// CLSetupTime is the host-side OpenCL setup the paper's "experiment time"
+// includes (context creation, kernel compilation) — the floor visible at
+// small matrix orders in Figure 5.
+const CLSetupTime = 150 * sim.Millisecond
+
+// RunMatmul executes the Figure 5/6 benchmark: multiply two random order-n
+// matrices on the GPU, measuring from host setup until the result matrix is
+// back, and verify the product against a CPU reference.
+func RunMatmul(env *sim.Env, k *kernel.Kernel, order int, seed int64) (MatmulResult, error) {
+	res := MatmulResult{Order: order}
+	var runErr error
+	job := StartMatmul(k, order, seed, &res, &runErr)
+	_ = job
+	env.Run()
+	return res, runErr
+}
+
+// StartMatmul spawns the benchmark without driving the simulation, so
+// several guests can run it concurrently (Figure 6). The result lands in
+// res once the simulation is driven to completion.
+func StartMatmul(k *kernel.Kernel, order int, seed int64, res *MatmulResult, runErr *error) *kernel.Process {
+	p, err := k.NewProcess(fmt.Sprintf("opencl-%d", order))
+	if err != nil {
+		*runErr = err
+		return nil
+	}
+	p.SpawnTask("host", func(t *kernel.Task) {
+		rng := rand.New(rand.NewSource(seed))
+		n := order
+		a := make([]float32, n*n)
+		b := make([]float32, n*n)
+		for i := range a {
+			a[i] = rng.Float32()
+			b[i] = rng.Float32()
+		}
+		start := t.Sim().Now()
+		t.Sim().Advance(CLSetupTime)
+		g, err := usrlib.OpenGPU(t, "/dev/dri/card0")
+		if err != nil {
+			*runErr = err
+			return
+		}
+		defer g.Close()
+		bytes := uint64(n) * uint64(n) * 4
+		mapLen := (bytes + mem.PageSize - 1) &^ (mem.PageSize - 1)
+		var handles [3]uint32
+		var vas [3]mem.GuestVirt
+		for i := range handles {
+			h, err := g.CreateBO(bytes)
+			if err != nil {
+				*runErr = err
+				return
+			}
+			handles[i] = h
+			va, err := g.MapBO(h, mapLen)
+			if err != nil {
+				*runErr = err
+				return
+			}
+			vas[i] = va
+		}
+		if err := g.WriteF32(vas[0], a); err != nil {
+			*runErr = err
+			return
+		}
+		if err := g.WriteF32(vas[1], b); err != nil {
+			*runErr = err
+			return
+		}
+		t.Sim().Advance(2 * perf.Copy(int(bytes), int(bytes)/mem.PageSize+1))
+		if err := g.Compute(handles[0], handles[1], handles[2], n); err != nil {
+			*runErr = err
+			return
+		}
+		got, err := g.ReadF32(vas[2], n*n)
+		if err != nil {
+			*runErr = err
+			return
+		}
+		t.Sim().Advance(perf.Copy(int(bytes), int(bytes)/mem.PageSize+1))
+		res.Elapsed = t.Sim().Now().Sub(start)
+		res.Correct = verifyMatmul(a, b, got, n)
+	})
+	return p
+}
+
+// StartMatmulLoop spawns one guest application that runs the benchmark
+// `runs` times back to back (the §6.1.4 concurrency experiment executes it
+// "5 times in a row from each guest VM simultaneously"). Results land in
+// res/errs once the simulation is driven to completion.
+func StartMatmulLoop(k *kernel.Kernel, order, runs int, res []MatmulResult, errs []error) {
+	p, err := k.NewProcess("opencl-loop")
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return
+	}
+	p.SpawnTask("host", func(t *kernel.Task) {
+		for r := 0; r < runs; r++ {
+			res[r], errs[r] = runMatmulOnce(t, order, int64(r+1)*7919)
+			if errs[r] != nil {
+				return
+			}
+		}
+	})
+}
+
+// runMatmulOnce is the benchmark body executed by an already-running task.
+func runMatmulOnce(t *kernel.Task, order int, seed int64) (MatmulResult, error) {
+	res := MatmulResult{Order: order}
+	rng := rand.New(rand.NewSource(seed))
+	n := order
+	a := make([]float32, n*n)
+	b := make([]float32, n*n)
+	for i := range a {
+		a[i] = rng.Float32()
+		b[i] = rng.Float32()
+	}
+	start := t.Sim().Now()
+	t.Sim().Advance(CLSetupTime)
+	g, err := usrlib.OpenGPU(t, "/dev/dri/card0")
+	if err != nil {
+		return res, err
+	}
+	defer g.Close()
+	bytes := uint64(n) * uint64(n) * 4
+	mapLen := (bytes + mem.PageSize - 1) &^ (mem.PageSize - 1)
+	var handles [3]uint32
+	var vas [3]mem.GuestVirt
+	for i := range handles {
+		h, err := g.CreateBO(bytes)
+		if err != nil {
+			return res, err
+		}
+		handles[i] = h
+		va, err := g.MapBO(h, mapLen)
+		if err != nil {
+			return res, err
+		}
+		vas[i] = va
+	}
+	if err := g.WriteF32(vas[0], a); err != nil {
+		return res, err
+	}
+	if err := g.WriteF32(vas[1], b); err != nil {
+		return res, err
+	}
+	t.Sim().Advance(2 * perf.Copy(int(bytes), int(bytes)/mem.PageSize+1))
+	if err := g.Compute(handles[0], handles[1], handles[2], n); err != nil {
+		return res, err
+	}
+	got, err := g.ReadF32(vas[2], n*n)
+	if err != nil {
+		return res, err
+	}
+	t.Sim().Advance(perf.Copy(int(bytes), int(bytes)/mem.PageSize+1))
+	for i := range vas {
+		if err := g.UnmapBO(vas[i], mapLen); err != nil {
+			return res, err
+		}
+	}
+	res.Elapsed = t.Sim().Now().Sub(start)
+	res.Correct = verifyMatmul(a, b, got, n)
+	return res, nil
+}
+
+// verifyMatmul checks a sample of result entries against a CPU reference
+// (the full check for small orders).
+func verifyMatmul(a, b, got []float32, n int) bool {
+	check := func(i, j int) bool {
+		var want float32
+		for k := 0; k < n; k++ {
+			want += a[i*n+k] * b[k*n+j]
+		}
+		diff := want - got[i*n+j]
+		if diff < 0 {
+			diff = -diff
+		}
+		limit := float32(n) * 1e-4
+		return diff <= limit
+	}
+	if n <= 64 {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !check(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for s := 0; s < 256; s++ {
+		i := (s * 2654435761) % n
+		j := (s * 40503) % n
+		if !check(i, j) {
+			return false
+		}
+	}
+	return true
+}

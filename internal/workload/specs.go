@@ -1,0 +1,112 @@
+// Package workload implements the applications of the paper's evaluation
+// (§6): the netmap packet generator, the OpenGL microbenchmarks (VBO /
+// Vertex Arrays / Display Lists teapot), the three 3D games' demo loops at
+// four resolutions, the OpenCL matrix-multiplication benchmark, the mouse
+// latency rig, the GUVCview-style camera loop, and audio playback. Each
+// runs as a simulated guest (or native) process issuing file operations,
+// and reports the metric the paper's figures plot.
+package workload
+
+import "paradice/internal/sim"
+
+// GLSpec characterizes one rendering workload by the three quantities that
+// determine its Paradice overhead: GPU work per frame, file operations per
+// frame, and per-frame CPU and upload work. Calibrated against the paper's
+// native FPS levels (Figures 3 and 4); EXPERIMENTS.md documents the fit.
+type GLSpec struct {
+	Name string
+	// CPUPrep is application-side work per frame.
+	CPUPrep sim.Duration
+	// DrawCycles is GPU work per frame in engine cycles (1 cycle = 1 ns).
+	DrawCycles uint64
+	// Ioctls is the number of device-file round trips per frame beyond the
+	// draw submission and fence wait (state changes, BO management, ...).
+	Ioctls int
+	// UploadBytes is per-frame data written to a mapped buffer object
+	// (vertex arrays, streamed textures).
+	UploadBytes int
+}
+
+// The OpenGL microbenchmarks of Figure 3: a full-screen ~6000-polygon
+// teapot via three submission APIs. Retained-mode VBO issues the fewest
+// operations; Vertex Arrays re-upload geometry each frame; Display Lists
+// replay through many small submissions.
+var (
+	GLVertexBufferObjects = GLSpec{
+		Name: "VBO", CPUPrep: 500 * sim.Microsecond,
+		DrawCycles: 4_400_000, Ioctls: 23, UploadBytes: 0,
+	}
+	GLVertexArrays = GLSpec{
+		Name: "VA", CPUPrep: 800 * sim.Microsecond,
+		DrawCycles: 4_400_000, Ioctls: 33, UploadBytes: 576_000,
+	}
+	GLDisplayLists = GLSpec{
+		Name: "DL", CPUPrep: 1200 * sim.Microsecond,
+		DrawCycles: 4_400_000, Ioctls: 43, UploadBytes: 0,
+	}
+)
+
+// Resolution is a display mode of Figure 4.
+type Resolution struct{ W, H int }
+
+// GameResolutions are the four modes the games are tested at.
+var GameResolutions = []Resolution{
+	{800, 600}, {1024, 768}, {1280, 1024}, {1680, 1050},
+}
+
+func (r Resolution) String() string {
+	switch {
+	case r.W == 800:
+		return "800x600"
+	case r.W == 1024:
+		return "1024x768"
+	case r.W == 1280:
+		return "1280x1024"
+	default:
+		return "1680x1050"
+	}
+}
+
+// GameSpec characterizes one of the paper's 3D games: per-frame GPU work is
+// a resolution-independent base (geometry, game logic on the GPU timeline)
+// plus fill work proportional to the pixel count.
+type GameSpec struct {
+	Name string
+	// BaseCycles is resolution-independent GPU work per frame.
+	BaseCycles uint64
+	// CyclesPerPixel is fill/shading work per rendered pixel.
+	CyclesPerPixel float64
+	// Ioctls is device-file round trips per frame.
+	Ioctls int
+	// StreamBytes is per-frame texture streaming through mapped BOs.
+	StreamBytes int
+}
+
+// The three Phoronix-driven games of Figure 4, calibrated to HD 6450-class
+// native frame rates.
+var (
+	GameTremulous = GameSpec{
+		Name: "Tremulous", BaseCycles: 10_800_000, CyclesPerPixel: 6.5,
+		Ioctls: 28, StreamBytes: 65536,
+	}
+	GameOpenArena = GameSpec{
+		Name: "OpenArena", BaseCycles: 12_000_000, CyclesPerPixel: 7.0,
+		Ioctls: 30, StreamBytes: 65536,
+	}
+	GameNexuiz = GameSpec{
+		Name: "Nexuiz", BaseCycles: 24_000_000, CyclesPerPixel: 12.0,
+		Ioctls: 34, StreamBytes: 131072,
+	}
+)
+
+// GL converts a game at a resolution into the generic rendering spec.
+func (g GameSpec) GL(r Resolution) GLSpec {
+	pixels := float64(r.W * r.H)
+	return GLSpec{
+		Name:        g.Name + "@" + r.String(),
+		CPUPrep:     2 * sim.Millisecond,
+		DrawCycles:  g.BaseCycles + uint64(pixels*g.CyclesPerPixel),
+		Ioctls:      g.Ioctls,
+		UploadBytes: g.StreamBytes,
+	}
+}

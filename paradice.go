@@ -1,0 +1,341 @@
+// Package paradice assembles the full systems the paper evaluates: the
+// Paradice machine of Figure 1(c) — a bare-metal hypervisor, a driver VM
+// owning the real devices and drivers through device assignment, and guest
+// VMs reaching those devices through virtual device files served by the
+// Common Virtual Driver — plus the two baselines every experiment compares
+// against, native execution and direct device assignment.
+//
+// A Machine carries one of each device class from Table 1: a Radeon-class
+// GPU behind the DRM driver, an e1000-class NIC behind netmap, an evdev
+// mouse, a UVC camera, and an HD Audio PCM device. Applications are
+// simulated processes that issue file operations against device files; on a
+// Paradice machine they run in guest VMs added with AddGuest, on the
+// baselines they run directly on the machine's kernel.
+package paradice
+
+import (
+	"fmt"
+
+	"paradice/internal/cvd"
+	"paradice/internal/devfile"
+	"paradice/internal/device/audio"
+	"paradice/internal/device/camera"
+	"paradice/internal/device/gpu"
+	"paradice/internal/device/input"
+	"paradice/internal/device/nic"
+	"paradice/internal/driver/drm"
+	"paradice/internal/driver/evdev"
+	"paradice/internal/driver/netmapdrv"
+	"paradice/internal/driver/pcm"
+	"paradice/internal/driver/uvc"
+	"paradice/internal/hv"
+	"paradice/internal/ioctlan"
+	"paradice/internal/iommu"
+	"paradice/internal/kernel"
+	"paradice/internal/perf"
+	"paradice/internal/sim"
+)
+
+// Mode selects the CVD transport.
+type Mode = cvd.Mode
+
+// Transport modes (re-exported from the CVD).
+const (
+	Interrupts = cvd.Interrupts
+	Polling    = cvd.Polling
+)
+
+// OS flavors for guests (re-exported from the kernel).
+const (
+	Linux   = kernel.Linux
+	FreeBSD = kernel.FreeBSD
+)
+
+// Kind is the platform variant a Machine embodies.
+type Kind int
+
+// Platform kinds.
+const (
+	// KindParadice is the paper's system: driver VM + guest VMs + CVD.
+	KindParadice Kind = iota
+	// KindNative runs applications directly on the machine that owns the
+	// devices — the "Native" baseline.
+	KindNative
+	// KindDeviceAssign runs applications in a VM that owns the devices
+	// directly — the "Device-Assign" baseline (interrupts routed through
+	// the hypervisor, everything else native).
+	KindDeviceAssign
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNative:
+		return "native"
+	case KindDeviceAssign:
+		return "device-assign"
+	default:
+		return "paradice"
+	}
+}
+
+// Config sizes and configures a Machine. Zero values select defaults.
+type Config struct {
+	// HostRAM is total system memory (default 512 MiB).
+	HostRAM uint64
+	// DriverRAM is the driver VM's (or the native machine's) memory
+	// (default 64 MiB).
+	DriverRAM uint64
+	// GuestRAM is each guest VM's memory (default 64 MiB).
+	GuestRAM uint64
+	// VRAM is GPU device memory (default 1 GiB, lazily backed).
+	VRAM uint64
+	// Mode selects the CVD transport (default Interrupts).
+	Mode Mode
+	// DataIsolation enables the §4.2/§5.3 device data isolation
+	// configuration for the GPU.
+	DataIsolation bool
+	// DIPartitions is how many guests share the GPU memory under data
+	// isolation (default 2, giving each half the VRAM as in §6).
+	DIPartitions int
+	// GPUModel selects the card (Table 1: "hd6450" (default), "hd4650",
+	// "x1300", "gm965"). Device data isolation requires the Evergreen-class
+	// hd6450 (§5.3).
+	GPUModel string
+	// PollWindow is the CVD busy-poll window in polling mode (default the
+	// paper's 200 µs; §5.1 notes the value was chosen empirically — the
+	// "ablation" experiment sweeps it).
+	PollWindow sim.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.HostRAM == 0 {
+		c.HostRAM = 512 << 20
+	}
+	if c.DriverRAM == 0 {
+		c.DriverRAM = 64 << 20
+	}
+	if c.GuestRAM == 0 {
+		c.GuestRAM = 64 << 20
+	}
+	if c.VRAM == 0 {
+		c.VRAM = 1 << 30
+	}
+	if c.DIPartitions == 0 {
+		c.DIPartitions = 2
+	}
+	return c
+}
+
+// Standard device paths on every Machine.
+const (
+	PathGPU      = "/dev/dri/card0"
+	PathMouse    = "/dev/input/event0"
+	PathKeyboard = "/dev/input/event1"
+	PathCamera   = "/dev/video0"
+	PathAudio    = "/dev/snd/pcmC0D0p"
+	PathNetmap   = "/dev/netmap"
+)
+
+// Machine is one assembled platform.
+type Machine struct {
+	Kind Kind
+	Env  *sim.Env
+	HV   *hv.Hypervisor
+
+	// DriverVM/DriverK host the real drivers (and, on the baselines, the
+	// applications too).
+	DriverVM *hv.VM
+	DriverK  *kernel.Kernel
+
+	// Devices and their drivers.
+	GPU      *gpu.GPU
+	DRM      *drm.Driver
+	NIC      *nic.NIC
+	Netmap   *netmapdrv.Driver
+	Mouse    *input.Device
+	Evdev    *evdev.Driver
+	Keyboard *input.Device
+	Kbdev    *evdev.Driver
+	Camera   *camera.Device
+	UVC      *uvc.Driver
+	Audio    *audio.Device
+	PCM      *pcm.Driver
+
+	// GPUDomain and MCGate are the isolation handles for the GPU.
+	GPUDomain *iommu.Domain
+	MCGate    *hv.Gate
+
+	cfg        Config
+	gpuModel   drm.Model
+	drmSpec    map[devfile.IoctlCmd]*ioctlan.CmdSpec
+	guests     []*Guest
+	foreground *Guest
+}
+
+// vramBase is where the GPU aperture sits in system-physical space, clear
+// of host RAM.
+const vramBase = 0x8_0000_0000
+
+// New builds a Paradice machine: hypervisor, driver VM with all five device
+// classes assigned, drivers loaded, ready for AddGuest.
+func New(cfg Config) (*Machine, error) { return build(KindParadice, cfg) }
+
+// NewNative builds the native baseline: the same devices and drivers on a
+// bare machine (interrupts at native latency, no CVD, no hypervisor in the
+// data path).
+func NewNative(cfg Config) (*Machine, error) { return build(KindNative, cfg) }
+
+// NewDeviceAssignment builds the direct device assignment baseline: one VM
+// owns the devices; interrupts route through the hypervisor.
+func NewDeviceAssignment(cfg Config) (*Machine, error) { return build(KindDeviceAssign, cfg) }
+
+func build(kind Kind, cfg Config) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	env := sim.NewEnv()
+	h := hv.New(env, cfg.HostRAM)
+	m := &Machine{Kind: kind, Env: env, HV: h, cfg: cfg}
+
+	// Create the devices once — they are hardware and survive driver VM
+	// restarts. An explicit Config.VRAM overrides the model's memory size.
+	model, err0 := drm.LookupModel(cfg.GPUModel)
+	if err0 != nil {
+		return nil, err0
+	}
+	vram := cfg.VRAM
+	if cfg.VRAM == 1<<30 && model.VRAM != 0 {
+		vram = model.VRAM
+	}
+	m.cfg.VRAM = vram
+	m.GPU = gpu.New(env, h.Phys, vramBase, vram)
+	m.NIC = nic.New(env)
+	mouseLat := perf.CostVMExitIRQ
+	if kind == KindNative {
+		mouseLat = perf.CostNativeIRQ
+	}
+	m.Mouse = input.New(env, "mouse", sim.Duration(mouseLat))
+	m.Keyboard = input.New(env, "keyboard", sim.Duration(mouseLat))
+	m.Camera = camera.New(env)
+	m.Audio = audio.New(env)
+
+	var err error
+	m.gpuModel, err = drm.LookupModel(cfg.GPUModel)
+	if err != nil {
+		return nil, err
+	}
+	m.drmSpec, err = drm.AnalyzedSpecs()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.bootDriverVM(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// bootDriverVM creates a driver VM and kernel, assigns every device to it,
+// and attaches the drivers. Called at machine construction and again by
+// RestartDriverVM.
+func (m *Machine) bootDriverVM() error {
+	drvVM, err := m.HV.CreateVM("driver", m.cfg.DriverRAM)
+	if err != nil {
+		return err
+	}
+	drvK := kernel.New("driver", kernel.Linux, m.Env, drvVM.Space, m.cfg.DriverRAM)
+	if m.Kind != KindNative {
+		// Threads in a VM pay the vCPU-kick penalty on wake-ups.
+		drvK.WakePenalty = perf.CostVMExitIRQ
+	}
+	m.DriverVM, m.DriverK = drvVM, drvK
+
+	// irqFor wires a device interrupt to a driver-VM ISR with the
+	// platform's delivery latency.
+	irqFor := func(isr func()) func() {
+		if m.Kind == KindNative {
+			return func() { m.Env.After(perf.CostNativeIRQ, isr) }
+		}
+		vec := drvVM.AllocVector()
+		drvVM.RegisterISR(vec, isr)
+		return func() { m.HV.DeviceInterrupt(drvVM, vec) }
+	}
+
+	// GPU + DRM.
+	bars := []hv.BAR{{Name: "gpu-vram", SPA: vramBase, Size: m.cfg.VRAM}}
+	assign := m.HV.AssignDevice
+	if m.cfg.DataIsolation {
+		assign = m.HV.AssignDeviceIsolated
+	}
+	dom, gpas, err := assign(drvVM, "gpu", bars)
+	if err != nil {
+		return err
+	}
+	m.GPUDomain = dom
+	var gpuRaise func()
+	drmDrv, err := drm.AttachModel(drvK, m.GPU, m.gpuModel, gpas[0], func(isr func()) {
+		gpuRaise = irqFor(isr)
+	})
+	if err != nil {
+		return err
+	}
+	m.DRM = drmDrv
+	m.GPU.Connect(&iommu.DMA{Dom: dom, Phys: m.HV.Phys}, func() { gpuRaise() })
+	m.MCGate = hv.NewGate("gpu-mc")
+	if m.cfg.DataIsolation {
+		// The hypervisor takes the MC register page away from the driver
+		// VM (§5.3 change iii) and the driver switches to the
+		// isolation-compatible configuration.
+		m.MCGate.Revoke()
+		if err := m.DRM.EnableDataIsolation(m.HV, drvVM, dom, m.MCGate); err != nil {
+			return err
+		}
+	}
+
+	// NIC + netmap.
+	nicDom, _, err := m.HV.AssignDevice(drvVM, "nic", nil)
+	if err != nil {
+		return err
+	}
+	m.NIC.Connect(&iommu.DMA{Dom: nicDom, Phys: m.HV.Phys})
+	m.Netmap, err = netmapdrv.Attach(drvK, m.NIC)
+	if err != nil {
+		return err
+	}
+
+	// Input devices + evdev.
+	m.Evdev = evdev.Attach(drvK, m.Mouse, PathMouse)
+	m.Kbdev = evdev.Attach(drvK, m.Keyboard, PathKeyboard)
+
+	// Camera + UVC.
+	camDom, _, err := m.HV.AssignDevice(drvVM, "camera", nil)
+	if err != nil {
+		return err
+	}
+	m.Camera.Connect(&iommu.DMA{Dom: camDom, Phys: m.HV.Phys})
+	m.UVC = uvc.Attach(drvK, m.Camera, PathCamera)
+
+	// Audio + PCM.
+	audDom, _, err := m.HV.AssignDevice(drvVM, "audio", nil)
+	if err != nil {
+		return err
+	}
+	m.Audio.Connect(&iommu.DMA{Dom: audDom, Phys: m.HV.Phys})
+	m.PCM, err = pcm.Attach(drvK, m.Audio, PathAudio)
+	return err
+}
+
+// AppKernel returns the kernel applications run on for the baseline
+// platforms. On a Paradice machine, use AddGuest and the Guest's kernel.
+func (m *Machine) AppKernel() *kernel.Kernel {
+	return m.DriverK
+}
+
+// Guests returns the guest VMs added so far.
+func (m *Machine) Guests() []*Guest { return m.guests }
+
+// Run drives the simulation until the event calendar drains.
+func (m *Machine) Run() { m.Env.Run() }
+
+// RunUntil drives the simulation up to the given time.
+func (m *Machine) RunUntil(t sim.Time) { m.Env.RunUntil(t) }
+
+// Errors.
+var errNotParadice = fmt.Errorf("paradice: guests exist only on a Paradice machine")

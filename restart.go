@@ -1,0 +1,61 @@
+package paradice
+
+import (
+	"fmt"
+
+	"paradice/internal/cvd"
+)
+
+// RestartDriverVM implements the recovery path §8 sketches for a device
+// broken by a malicious guest ("detect the broken device and restart it by
+// simply restarting the driver VM"): the old driver VM is abandoned, every
+// device gets a function-level reset, a fresh driver VM boots with fresh
+// drivers, and each guest's CVD frontends are reconnected to new backends.
+//
+// Consequences for guests, as on the real system: operations in flight when
+// the driver VM died fail with EREMOTE, and file descriptors opened before
+// the restart are invalid — applications reopen the device and continue.
+//
+// Restart with device data isolation enabled is not supported (the
+// hypervisor's protected-region state would need to be migrated to the new
+// driver VM's EPT; the paper leaves recovery as future work altogether).
+func (m *Machine) RestartDriverVM() error {
+	if m.Kind != KindParadice {
+		return fmt.Errorf("paradice: only a Paradice machine has a driver VM to restart")
+	}
+	if m.cfg.DataIsolation {
+		return fmt.Errorf("paradice: driver VM restart with data isolation is not supported")
+	}
+	// Tear down: stop every backend dispatcher, reset every device.
+	for _, g := range m.guests {
+		for _, be := range g.Backends {
+			be.Stop()
+		}
+	}
+	m.GPU.Reset()
+	m.NIC.Reset()
+	m.Camera.Reset()
+	m.Audio.Reset()
+	m.Mouse.Reset()
+	m.Keyboard.Reset()
+
+	// Boot a fresh driver VM with fresh drivers.
+	if err := m.bootDriverVM(); err != nil {
+		return err
+	}
+
+	// Reconnect every guest's frontends to backends in the new driver VM.
+	for _, g := range m.guests {
+		for path, fe := range g.Frontends {
+			be, err := cvd.Reconnect(fe, m.HV, m.DriverVM, m.DriverK, path)
+			if err != nil {
+				return err
+			}
+			g.Backends[path] = be
+			if path == PathMouse {
+				g.wireInputGate()
+			}
+		}
+	}
+	return nil
+}

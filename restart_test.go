@@ -1,0 +1,143 @@
+package paradice_test
+
+// The §8 recovery scenario: a malicious guest wedges the GPU by scribbling
+// on a device control register (through the compromised driver VM), the
+// operator restarts the driver VM, and other guests resume service.
+
+import (
+	"testing"
+
+	"paradice"
+	"paradice/internal/devfile"
+	"paradice/internal/driver/drm"
+	"paradice/internal/kernel"
+	"paradice/internal/sim"
+	"paradice/internal/workload"
+)
+
+func drmGemCreate() devfile.IoctlCmd { return drm.IoctlGemCreate }
+func drmCS() devfile.IoctlCmd        { return drm.IoctlCS }
+func drmWaitFence() devfile.IoctlCmd { return drm.IoctlWaitFence }
+
+func TestDriverVMRestartRecoversWedgedGPU(t *testing.T) {
+	m, err := paradice.New(paradice.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := m.AddGuest("guest", paradice.Linux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Paravirtualize(paradice.PathGPU); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: the GPU works.
+	res, err := workload.RunMatmul(m.Env, g.K, 24, 1)
+	if err != nil || !res.Correct {
+		t.Fatalf("pre-wedge matmul: %+v %v", res, err)
+	}
+
+	// The attack: a compromised driver VM writes garbage into a device
+	// control register; the command processor wedges.
+	m.GPU.WriteControlReg(0xDEADBEEF)
+	if !m.GPU.Broken() {
+		t.Fatal("register scribble did not break the device")
+	}
+
+	// A guest operation now hangs on a fence that never signals; bound the
+	// run and observe the wedge.
+	var wedgedErr error
+	done := false
+	p, _ := g.K.NewProcess("victim")
+	p.SpawnTask("main", func(tk *kernel.Task) {
+		_, wedgedErr = runTinyDraw(tk)
+		done = true
+	})
+	m.RunUntil(m.Env.Now().Add(50 * sim.Millisecond))
+	if done && wedgedErr == nil {
+		t.Fatal("draw completed on a wedged GPU")
+	}
+
+	// Recovery: restart the driver VM.
+	if err := m.RestartDriverVM(); err != nil {
+		t.Fatal(err)
+	}
+	if m.GPU.Broken() {
+		t.Fatal("device still broken after restart")
+	}
+	// The stuck operation fails with EREMOTE rather than hanging forever.
+	m.RunUntil(m.Env.Now().Add(10 * sim.Millisecond))
+	if !done {
+		t.Fatal("in-flight operation still stuck after restart")
+	}
+	if !kernel.IsErrno(wedgedErr, kernel.EREMOTE) {
+		t.Fatalf("in-flight operation failed with %v, want EREMOTE", wedgedErr)
+	}
+
+	// Old guest file descriptors are stale; a fresh open works and the GPU
+	// computes again.
+	res, err = workload.RunMatmul(m.Env, g.K, 24, 2)
+	if err != nil || !res.Correct {
+		t.Fatalf("post-restart matmul: %+v %v", res, err)
+	}
+}
+
+// runTinyDraw opens the device and submits one draw, returning its error.
+func runTinyDraw(tk *kernel.Task) (int32, error) {
+	fd, err := tk.Open(paradice.PathGPU, 2)
+	if err != nil {
+		return 0, err
+	}
+	// GEM create.
+	p := tk.Proc
+	arg, _ := p.Alloc(16)
+	carg := make([]byte, 16)
+	carg[0] = 0x00
+	carg[1] = 0x10 // size = 4096
+	if err := p.Mem.Write(arg, carg); err != nil {
+		return 0, err
+	}
+	if _, err := tk.Ioctl(fd, drmGemCreate(), arg); err != nil {
+		return 0, err
+	}
+	out := make([]byte, 4)
+	_ = p.Mem.Read(arg, out)
+	handle := uint32(out[0]) | uint32(out[1])<<8
+	// CS with one draw, then wait the fence (this is what wedges).
+	ib := []uint32{1 /*OpDraw*/, handle, 0, 1000, 0}
+	ibb := make([]byte, len(ib)*4)
+	for i, w := range ib {
+		ibb[i*4] = byte(w)
+		ibb[i*4+1] = byte(w >> 8)
+		ibb[i*4+2] = byte(w >> 16)
+		ibb[i*4+3] = byte(w >> 24)
+	}
+	ibVA, _ := p.AllocBytes(ibb)
+	desc := make([]byte, 16)
+	putU64(desc[0:], uint64(ibVA))
+	putU32(desc[8:], uint32(len(ib)))
+	putU32(desc[12:], 1)
+	descVA, _ := p.AllocBytes(desc)
+	hdr := make([]byte, 16)
+	putU32(hdr[0:], 1)
+	putU64(hdr[8:], uint64(descVA))
+	hdrVA, _ := p.AllocBytes(hdr)
+	fence, err := tk.Ioctl(fd, drmCS(), hdrVA)
+	if err != nil {
+		return fence, err
+	}
+	warg := make([]byte, 8)
+	putU32(warg, uint32(fence))
+	wVA, _ := p.AllocBytes(warg)
+	return tk.Ioctl(fd, drmWaitFence(), wVA)
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putU64(b []byte, v uint64) {
+	putU32(b, uint32(v))
+	putU32(b[4:], uint32(v>>32))
+}
