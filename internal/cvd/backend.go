@@ -3,6 +3,7 @@ package cvd
 import (
 	"fmt"
 
+	"paradice/internal/faults"
 	"paradice/internal/grant"
 	"paradice/internal/hv"
 	"paradice/internal/kernel"
@@ -152,8 +153,12 @@ func newBackend(h *hv.Hypervisor, driverVM, guestVM *hv.VM, driverK *kernel.Kern
 func (b *Backend) Proc() *kernel.Process { return b.proc }
 
 // notify posts a notification bit and kicks the frontend, unless the
-// notification gate says this guest should not receive it.
+// notification gate says this guest should not receive it. A stopped
+// backend is dead — it no longer owns the ring and must not touch it.
 func (b *Backend) notify(bits uint32) {
+	if b.stopped {
+		return
+	}
 	if b.notifyGate != nil && !b.notifyGate() {
 		b.NotifsDropped++
 		return
@@ -174,6 +179,13 @@ func (b *Backend) notify(bits uint32) {
 func (b *Backend) dispatch(p *sim.Proc) {
 	for {
 		if b.stopped {
+			return
+		}
+		if faults.Point(b.driverK.Env, "cvd.backend.die") != nil {
+			// Injected driver-VM death: the dispatcher vanishes mid-run.
+			// Posted operations stay unanswered until a Reconnect fails
+			// them with EREMOTE, exactly as after a real driver VM crash.
+			b.stopped = true
 			return
 		}
 		if slot, ok := b.oldestPosted(); ok {
@@ -230,6 +242,14 @@ func (b *Backend) spawnHandler(req request) {
 		ret, errno := b.execute(task, req)
 		restore()
 		sp.Advance(perf.CostComplete)
+		if b.stopped {
+			// The backend died (Stop, or an injected driver-VM crash)
+			// while this handler was executing. The ring now belongs to a
+			// successor backend and the frontend has already been failed
+			// with EREMOTE for this slot; a late response here would
+			// corrupt the successor's view of the slot.
+			return
+		}
 		b.ring.writeResponse(req.slot, ret, int32(errno))
 		b.OpsHandled++
 		b.complete()

@@ -2,6 +2,7 @@ package cvd
 
 import (
 	"paradice/internal/devfile"
+	"paradice/internal/faults"
 	"paradice/internal/grant"
 	"paradice/internal/hv"
 	"paradice/internal/ioctlan"
@@ -151,6 +152,11 @@ func (fe *Frontend) roundTrip(t *kernel.Task, r request) (int32, kernel.Errno) {
 func (fe *Frontend) declare(c *kernel.FopCtx, ops []grant.Op) (uint32, error) {
 	if len(ops) == 0 {
 		return 0, nil
+	}
+	if d := faults.Point(fe.guestK.Env, "grant.declare"); d != nil {
+		// Injected fault: the declaration fails as if the table page were
+		// full; callers surface ENOMEM to the application.
+		return 0, d.Error()
 	}
 	perf.Charge(fe.guestK.Env, sim.Duration(len(ops))*perf.CostGrantDeclare)
 	return fe.grants.Declare(c.Task.Proc.PT.Root(), ops)

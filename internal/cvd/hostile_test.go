@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"paradice/internal/devfile"
+	"paradice/internal/faults"
 	"paradice/internal/kernel"
 	"paradice/internal/sim"
 )
@@ -100,6 +101,62 @@ func TestHostileForgedGrantRef(t *testing.T) {
 	ret, errno := pg.readResponse(7)
 	if pg.slotState(7) != slotDone || kernel.Errno(errno) != kernel.EFAULT {
 		t.Fatalf("forged ref write: state=%d ret=%d errno=%d, want EFAULT", pg.slotState(7), ret, errno)
+	}
+}
+
+// Seeded storm of raw byte scribbles over the entire ring page — header,
+// slot states, opcodes, sequence numbers, everything — interleaved with
+// doorbell kicks. Unlike the structured forgeries above, this drives the
+// backend through arbitrary byte-level states. The corruption stream comes
+// from a fault plan's deterministic rng, so a failure reproduces from the
+// printed seed.
+func TestHostileRandomRingCorruption(t *testing.T) {
+	const seed = 0xC0DE
+	r := newRig(t, Interrupts, kernel.Linux)
+	plan := faults.New(seed)
+	faults.Install(r.env, plan)
+	defer faults.Uninstall(r.env)
+	rng := plan.Rand()
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("backend crashed under ring corruption (seed %#x): %v", seed, p)
+		}
+	}()
+	const pageBytes = hdrSize + slotCount*slotSize
+	for round := 0; round < 200; round++ {
+		buf := make([]byte, 1+rng.Intn(16))
+		rng.Read(buf)
+		off := rng.Intn(pageBytes - len(buf))
+		if err := r.fe.ring.acc.WriteAt(off, buf); err != nil {
+			t.Fatal(err)
+		}
+		r.h.SendInterrupt(r.driverVM, r.fe.vecToBackend)
+		r.env.RunUntil(r.env.Now().Add(200 * sim.Microsecond))
+	}
+	r.env.RunUntil(r.env.Now().Add(5 * sim.Millisecond))
+
+	// The guest corrupted only its own channel. Scrub the page (the state a
+	// rebooted guest channel would present) and demand service.
+	if err := r.fe.ring.acc.WriteAt(0, make([]byte, pageBytes)); err != nil {
+		t.Fatal(err)
+	}
+	app, _ := r.guestK.NewProcess("app")
+	ok := false
+	app.SpawnTask("main", func(tk *kernel.Task) {
+		fd, err := tk.Open("/dev/testdev", devfile.ORdWr)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := tk.Ioctl(fd, tdNoop, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		ok = true
+	})
+	r.env.Run()
+	if !ok {
+		t.Fatalf("machine unusable after seeded ring corruption (seed %#x)", seed)
 	}
 }
 

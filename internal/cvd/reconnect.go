@@ -13,9 +13,16 @@ import (
 // state — survive; the backends die with the driver VM and are rebuilt
 // against the new one.
 
-// Stop terminates the backend's dispatcher; in-flight handler threads may
-// still complete, but no new operations are accepted. Part of driver VM
-// teardown.
+// Stop terminates the backend: the dispatcher exits, and no part of the
+// backend touches the ring page again. The ordering is deliberate and
+// load-bearing for reconnection: stopped is set BEFORE the doorbell fires,
+// so by the time Stop returns, (i) the dispatcher can only observe
+// stopped=true and exit, and (ii) any in-flight handler thread — which
+// checks stopped after executing its operation, before writing a response —
+// will discard its result rather than scribble on a ring a successor
+// backend may by then own. In-flight operations are therefore never
+// answered by a stopped backend; Reconnect fails them with EREMOTE.
+// Part of driver VM teardown; audited by the faults stress harness.
 func (b *Backend) Stop() {
 	b.stopped = true
 	b.doorbell.Trigger()
@@ -52,12 +59,17 @@ func Reconnect(fe *Frontend, h *hv.Hypervisor, driverVM *hv.VM, driverK *kernel.
 }
 
 // failInflight completes every non-free slot with EREMOTE and wakes its
-// waiter — requests the dead driver VM will never answer.
+// waiter — requests the dead driver VM will never answer. Slots already in
+// slotDone keep their real response: the old backend finished the work but
+// its completion interrupt may have been lost with the driver VM, so only
+// the waiter's event needs (re-)triggering.
 func (fe *Frontend) failInflight() {
 	for s := 0; s < slotCount; s++ {
 		switch fe.ring.slotState(s) {
 		case slotPosted, slotRunning:
 			fe.ring.writeResponse(s, -1, int32(kernel.EREMOTE))
+			fe.respEvents[s].Trigger()
+		case slotDone:
 			fe.respEvents[s].Trigger()
 		}
 	}

@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"testing"
+
+	"paradice/internal/sim"
+)
+
+// Two plans with the same seed and the same consultation order make
+// identical decisions — the property seed reproduction rests on.
+func TestPlanDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		p := New(seed).Probability("a", 0.5).Probability("b", 0.1)
+		var got []bool
+		for i := 0; i < 200; i++ {
+			got = append(got, p.decide("a") != nil, p.decide("b") != nil)
+		}
+		return got
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical seeds", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical decision streams")
+	}
+}
+
+func TestScriptedFailAt(t *testing.T) {
+	p := New(1).FailAtWith("x", 3, 77)
+	for i := 1; i <= 5; i++ {
+		d := p.decide("x")
+		if (d != nil) != (i == 3) {
+			t.Fatalf("hit %d: fired=%v", i, d != nil)
+		}
+		if i == 3 && (d.Hit != 3 || d.Arg != 77) {
+			t.Fatalf("hit 3 decision = %+v", d)
+		}
+	}
+	if p.Hits("x") != 5 || p.Injected("x") != 1 {
+		t.Fatalf("hits=%d injected=%d, want 5/1", p.Hits("x"), p.Injected("x"))
+	}
+}
+
+func TestUnarmedPointNeverFires(t *testing.T) {
+	p := New(7)
+	for i := 0; i < 1000; i++ {
+		if p.decide("never") != nil {
+			t.Fatal("unarmed point fired")
+		}
+	}
+}
+
+func TestInstallPointUninstall(t *testing.T) {
+	env := sim.NewEnv()
+	if Point(env, "a") != nil {
+		t.Fatal("no plan installed, yet Point fired")
+	}
+	if Point(nil, "a") != nil {
+		t.Fatal("nil env must be a no-op")
+	}
+	p := New(3).FailAt("a", 1)
+	Install(env, p)
+	if Installed(env) != p {
+		t.Fatal("Installed did not return the plan")
+	}
+	if Point(env, "a") == nil {
+		t.Fatal("scripted first hit did not fire through Point")
+	}
+	Uninstall(env)
+	if Point(env, "a") != nil || Installed(env) != nil {
+		t.Fatal("plan survived Uninstall")
+	}
+}
+
+func TestProbabilityRoughlyHonored(t *testing.T) {
+	p := New(99).Probability("p", 0.3)
+	fired := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if p.decide("p") != nil {
+			fired++
+		}
+	}
+	if fired < n/5 || fired > n/2 {
+		t.Fatalf("prob 0.3 fired %d/%d times", fired, n)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package faults_test
+
+// raceEnabled mirrors the race detector's presence so the stress sweep can
+// scale its seed count: full breadth normally, a slice of it under -race,
+// where each simulation costs ~30x more.
+const raceEnabled = false

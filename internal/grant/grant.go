@@ -183,6 +183,26 @@ func revoke(acc Accessor, ref uint32) error {
 	return nil
 }
 
+// FindRef scans the page for any slot declared under ref and returns its
+// page-table root. It performs NO kind or range checking — it exists for
+// diagnostics and for the fault-injection harness's deliberately weakened
+// grant check ("grant.validate.skip"), never as a validation path.
+func FindRef(acc Accessor, ref uint32) (mem.GuestPhys, bool, error) {
+	if ref == 0 {
+		return 0, false, nil
+	}
+	for slot := 0; slot < slotCount; slot++ {
+		var buf [slotSize]byte
+		if err := acc.ReadAt(slot*slotSize, buf[:]); err != nil {
+			return 0, false, err
+		}
+		if binary.LittleEndian.Uint32(buf[offRef:]) == ref {
+			return mem.GuestPhys(binary.LittleEndian.Uint64(buf[offPTRoot:])), true, nil
+		}
+	}
+	return 0, false, nil
+}
+
 // DeniedError reports a memory operation the grant table does not cover —
 // the hypervisor's strict runtime check failing a compromised driver VM.
 type DeniedError struct {

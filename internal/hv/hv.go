@@ -9,6 +9,7 @@ package hv
 import (
 	"fmt"
 
+	"paradice/internal/faults"
 	"paradice/internal/iommu"
 	"paradice/internal/mem"
 	"paradice/internal/perf"
@@ -139,7 +140,15 @@ func (h *Hypervisor) SendInterrupt(target *VM, vector int) {
 	if fn == nil {
 		return // spurious interrupt: no handler registered
 	}
+	if faults.Point(h.Env, "hv.irq.drop") != nil {
+		return // injected fault: the interrupt is lost in delivery
+	}
 	h.Env.After(perf.CostInterVMIRQ, fn)
+	if faults.Point(h.Env, "hv.irq.dup") != nil {
+		// Injected fault: the interrupt is delivered twice. ISRs must be
+		// idempotent (re-scanning the ring, re-triggering a fired event).
+		h.Env.After(perf.CostInterVMIRQ, fn)
+	}
 }
 
 // DeviceInterrupt raises a (pass-through) device interrupt into the VM the

@@ -3,6 +3,7 @@ package hv
 import (
 	"fmt"
 
+	"paradice/internal/faults"
 	"paradice/internal/grant"
 	"paradice/internal/mem"
 	"paradice/internal/perf"
@@ -30,6 +31,20 @@ func (h *Hypervisor) validate(guest *VM, ref uint32, kind grant.Kind, va mem.Gue
 		return nil, err
 	}
 	perf.Charge(h.Env, perf.CostGrantDeclare)
+	if faults.Point(h.Env, "grant.validate") != nil {
+		// Injected validation failure: behave exactly as if no covering
+		// grant entry existed.
+		return nil, &grant.DeniedError{Ref: ref, Kind: kind, VA: va, Len: n}
+	}
+	if faults.Point(h.Env, "grant.validate.skip") != nil {
+		// Deliberately WEAKENED check (see the faults package doc): accept
+		// any entry with a matching reference, ignoring kind and range.
+		// Exists solely so the stress harness can prove it catches a broken
+		// grant check; never armed outside that self-test.
+		if ptRoot, ok, ferr := grant.FindRef(acc, ref); ferr == nil && ok {
+			return mem.LoadPageTable(guest.Space, ptRoot), nil
+		}
+	}
 	ptRoot, err := grant.Validate(acc, ref, kind, va, n)
 	if err != nil {
 		return nil, err
@@ -41,6 +56,9 @@ func (h *Hypervisor) validate(guest *VM, ref uint32, kind grant.Kind, va mem.Gue
 // the per-page two-level translation walk of §5.2. The request must be
 // covered by a copy-to-user grant under ref.
 func (h *Hypervisor) CopyToGuest(guest *VM, ref uint32, dst mem.GuestVirt, src []byte) error {
+	if d := faults.Point(h.Env, "hv.copy"); d != nil {
+		return d.Error()
+	}
 	pt, err := h.validate(guest, ref, grant.KindCopyTo, dst, uint64(len(src)))
 	if err != nil {
 		return err
@@ -51,6 +69,9 @@ func (h *Hypervisor) CopyToGuest(guest *VM, ref uint32, dst mem.GuestVirt, src [
 // CopyFromGuest fills buf from the guest process's memory at src under a
 // copy-from-user grant.
 func (h *Hypervisor) CopyFromGuest(guest *VM, ref uint32, src mem.GuestVirt, buf []byte) error {
+	if d := faults.Point(h.Env, "hv.copy"); d != nil {
+		return d.Error()
+	}
 	pt, err := h.validate(guest, ref, grant.KindCopyFrom, src, uint64(len(buf)))
 	if err != nil {
 		return err
@@ -107,6 +128,9 @@ func (h *Hypervisor) MapToGuest(guest *VM, ref uint32, va mem.GuestVirt, driver 
 	if !mem.PageAligned(uint64(va)) || !mem.PageAligned(uint64(pfn)) {
 		return fmt.Errorf("hv: unaligned MapToGuest %v -> %v", pfn, va)
 	}
+	if d := faults.Point(h.Env, "hv.map"); d != nil {
+		return d.Error()
+	}
 	pt, err := h.validate(guest, ref, grant.KindMapPage, va, mem.PageSize)
 	if err != nil {
 		return err
@@ -140,6 +164,9 @@ func (h *Hypervisor) MapToGuest(guest *VM, ref uint32, va mem.GuestVirt, driver 
 // EPT entry is touched: the guest kernel has already destroyed its own
 // page-table entry before informing the driver (§5.2).
 func (h *Hypervisor) UnmapFromGuest(guest *VM, ref uint32, va mem.GuestVirt) error {
+	if d := faults.Point(h.Env, "hv.unmap"); d != nil {
+		return d.Error()
+	}
 	pt, err := h.validate(guest, ref, grant.KindUnmap, va, mem.PageSize)
 	if err != nil {
 		return err

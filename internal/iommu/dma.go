@@ -3,7 +3,9 @@ package iommu
 import (
 	"encoding/binary"
 
+	"paradice/internal/faults"
 	"paradice/internal/mem"
+	"paradice/internal/sim"
 )
 
 // DMA is a device's path to system memory: every access translates through
@@ -12,6 +14,10 @@ import (
 type DMA struct {
 	Dom  *Domain
 	Phys *mem.PhysMem
+	// Env, when set, lets the fault-injection layer force translation
+	// faults on this path ("iommu.translate"). Nil is fine: injection is
+	// then simply disabled.
+	Env *sim.Env
 }
 
 // Read copies len(buf) bytes from bus address bus into buf.
@@ -25,6 +31,11 @@ func (d *DMA) Write(bus BusAddr, data []byte) error {
 }
 
 func (d *DMA) access(bus BusAddr, buf []byte, perm mem.Perm) error {
+	if faults.Point(d.Env, "iommu.translate") != nil {
+		// Injected translation fault: the access dies at the IOMMU before
+		// touching physical memory, exactly like an unmapped bus address.
+		return &DMAFault{Addr: bus, Access: perm}
+	}
 	addr := uint64(bus)
 	for len(buf) > 0 {
 		spa, err := d.Dom.Translate(BusAddr(addr), perm)

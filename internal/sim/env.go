@@ -19,6 +19,7 @@ type Env struct {
 	running bool
 	nprocs  int     // live (not yet finished) processes
 	procs   []*Proc // all spawned processes, for Deadlocked reporting
+	trap    *ProcPanic
 
 	// Trace, when non-nil, receives a line per scheduling decision.
 	// Intended for debugging deadlocks in tests.
@@ -149,8 +150,32 @@ func (e *Env) resume(p *Proc) {
 	e.current = nil
 	if k == yieldDone {
 		e.nprocs--
+		if e.trap != nil {
+			// The process goroutine panicked: re-raise on the Run caller's
+			// goroutine so a harness can recover (and report, say, the
+			// reproducing seed) instead of the whole program dying on a
+			// goroutine nobody can recover from.
+			tr := e.trap
+			e.trap = nil
+			panic(tr)
+		}
 	}
 }
+
+// ProcPanic is the value re-panicked on the goroutine driving Run when a
+// simulation process panics: the process name, the original panic value,
+// and the stack captured at the panic site.
+type ProcPanic struct {
+	Proc  string
+	Value any
+	Stack []byte
+}
+
+func (pp *ProcPanic) Error() string {
+	return fmt.Sprintf("sim: process %s panicked: %v\n%s", pp.Proc, pp.Value, pp.Stack)
+}
+
+func (pp *ProcPanic) String() string { return pp.Error() }
 
 // Deadlocked returns the names of processes that are still alive but have no
 // pending calendar entry — i.e. they are waiting on events that will never

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime/debug"
+)
 
 // Proc is a simulation process: a goroutine that runs only while it holds the
 // scheduler's hand-off token. At most one Proc executes at any instant, so
@@ -22,9 +25,17 @@ func (e *Env) Spawn(name string, fn func(p *Proc)) *Proc {
 	e.procs = append(e.procs, p)
 	go func() {
 		<-p.wake // wait for first resume
+		defer func() {
+			p.finished = true
+			if r := recover(); r != nil {
+				// Capture the panic for the scheduler to re-raise on the
+				// Run caller's goroutine (see Env.resume); the channel send
+				// orders the write before the scheduler's read.
+				e.trap = &ProcPanic{Proc: p.name, Value: r, Stack: debug.Stack()}
+			}
+			e.yield <- yieldDone
+		}()
 		fn(p)
-		p.finished = true
-		e.yield <- yieldDone
 	}()
 	p.scheduleResume(e.now)
 	return p

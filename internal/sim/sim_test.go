@@ -350,3 +350,29 @@ func TestNegativeSleepClampsToZero(t *testing.T) {
 		}
 	})
 }
+
+// A panicking process must surface on the Run caller's goroutine as a
+// *ProcPanic — recoverable by a harness — not crash an unrelated goroutine.
+func TestProcPanicTrapsToRunCaller(t *testing.T) {
+	e := NewEnv()
+	e.Spawn("healthy", func(p *Proc) { p.Sleep(Microsecond) })
+	e.Spawn("bomb", func(p *Proc) {
+		p.Sleep(10 * Nanosecond)
+		panic("boom")
+	})
+	var got *ProcPanic
+	func() {
+		defer func() {
+			r := recover()
+			pp, ok := r.(*ProcPanic)
+			if !ok {
+				t.Fatalf("recovered %T (%v), want *ProcPanic", r, r)
+			}
+			got = pp
+		}()
+		e.Run()
+	}()
+	if got.Proc != "bomb" || got.Value != "boom" || len(got.Stack) == 0 {
+		t.Fatalf("trap = {Proc:%q Value:%v stack %d bytes}", got.Proc, got.Value, len(got.Stack))
+	}
+}

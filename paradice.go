@@ -277,7 +277,7 @@ func (m *Machine) bootDriverVM() error {
 		return err
 	}
 	m.DRM = drmDrv
-	m.GPU.Connect(&iommu.DMA{Dom: dom, Phys: m.HV.Phys}, func() { gpuRaise() })
+	m.GPU.Connect(&iommu.DMA{Dom: dom, Phys: m.HV.Phys, Env: m.Env}, func() { gpuRaise() })
 	m.MCGate = hv.NewGate("gpu-mc")
 	if m.cfg.DataIsolation {
 		// The hypervisor takes the MC register page away from the driver
@@ -294,7 +294,7 @@ func (m *Machine) bootDriverVM() error {
 	if err != nil {
 		return err
 	}
-	m.NIC.Connect(&iommu.DMA{Dom: nicDom, Phys: m.HV.Phys})
+	m.NIC.Connect(&iommu.DMA{Dom: nicDom, Phys: m.HV.Phys, Env: m.Env})
 	m.Netmap, err = netmapdrv.Attach(drvK, m.NIC)
 	if err != nil {
 		return err
@@ -309,7 +309,7 @@ func (m *Machine) bootDriverVM() error {
 	if err != nil {
 		return err
 	}
-	m.Camera.Connect(&iommu.DMA{Dom: camDom, Phys: m.HV.Phys})
+	m.Camera.Connect(&iommu.DMA{Dom: camDom, Phys: m.HV.Phys, Env: m.Env})
 	m.UVC = uvc.Attach(drvK, m.Camera, PathCamera)
 
 	// Audio + PCM.
@@ -317,7 +317,7 @@ func (m *Machine) bootDriverVM() error {
 	if err != nil {
 		return err
 	}
-	m.Audio.Connect(&iommu.DMA{Dom: audDom, Phys: m.HV.Phys})
+	m.Audio.Connect(&iommu.DMA{Dom: audDom, Phys: m.HV.Phys, Env: m.Env})
 	m.PCM, err = pcm.Attach(drvK, m.Audio, PathAudio)
 	return err
 }
