@@ -36,10 +36,23 @@ func (g *Guest) WaitForeground(t *kernel.Task) {
 	}
 }
 
-// wireInputGate hooks the input channel's notifications to the foreground
-// policy. Called when the mouse path is paravirtualized.
-func (g *Guest) wireInputGate() {
-	be := g.Backends[PathMouse]
+// isGatedInputPath reports whether the device at path is an input device
+// whose notifications §5.1 gates to the foreground guest. The mouse and the
+// keyboard both are; audit note: the camera and audio devices are NOT gated
+// (the paper shares them by assigning each to one guest at a time, not by
+// foreground notification filtering), and the GPU's foreground policy works
+// through WaitForeground render-loop pausing, not notification gating — so
+// neither needs rewiring after a driver VM restart.
+func isGatedInputPath(path string) bool {
+	return path == PathMouse || path == PathKeyboard
+}
+
+// wireInputGate hooks one input channel's notifications to the foreground
+// policy. Called when a gated input path is paravirtualized, and again after
+// every driver VM restart (the gate lives on the backend, which a restart
+// replaces).
+func (g *Guest) wireInputGate(path string) {
+	be := g.Backends[path]
 	if be == nil {
 		return
 	}

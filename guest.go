@@ -74,7 +74,8 @@ func (g *Guest) Paravirtualize(paths ...string) error {
 			DriverVM: g.M.DriverVM, DriverK: g.M.DriverK,
 			DevicePath: path, Mode: g.M.cfg.Mode,
 			Specs: specs, Grants: g.Grants,
-			PollWindow: g.M.cfg.PollWindow,
+			PollWindow:      g.M.cfg.PollWindow,
+			RequestDeadline: g.M.cfg.RequestDeadline,
 		})
 		if err != nil {
 			return err
@@ -87,8 +88,11 @@ func (g *Guest) Paravirtualize(paths ...string) error {
 				return err
 			}
 		}
-		if path == PathMouse {
-			g.wireInputGate()
+		if isGatedInputPath(path) {
+			g.wireInputGate(path)
+			// The first guest to paravirtualize a gated input device holds
+			// the virtual terminal by default, else its notifications would
+			// be dropped before anyone called SetForeground.
 			if g.M.foreground == nil {
 				g.M.SetForeground(g)
 			}

@@ -57,6 +57,15 @@ type Backend struct {
 	frontendDoorbell func()
 	// stopped terminates the dispatcher (driver VM restart).
 	stopped bool
+	// onDeath, when set, is invoked once if the backend dies abnormally —
+	// an injected driver-VM crash or an explicit Kill — but NOT on an
+	// orderly Stop. Driver-VM supervision registers here for immediate
+	// failure detection instead of waiting out missed heartbeats.
+	onDeath func()
+	// hbSeen is the last watchdog heartbeat sequence this backend observed,
+	// whether it acked it or a fault swallowed the ack. Backend-local so a
+	// dropped ack is not retried forever by the dispatcher loop.
+	hbSeen uint32
 
 	// notifyGate, when set, is consulted before sending a notification;
 	// the foreground/background model of §5.1 gates input notifications to
@@ -69,6 +78,8 @@ type Backend struct {
 	NotifsDropped uint64
 	WakeIRQs      uint64 // doorbell interrupts received while sleeping
 	PolledPosts   uint64 // posts observed while spinning
+	HbAcked       uint64 // watchdog heartbeats echoed
+	HbDropped     uint64 // heartbeat acks swallowed by fault injection
 }
 
 // SetNotifyGate installs a predicate consulted before notifications are
@@ -136,6 +147,10 @@ func newBackend(h *hv.Hypervisor, driverVM, guestVM *hv.VM, driverK *kernel.Kern
 		vecResp:  vecResp,
 		vecNotif: vecNotif,
 	}
+	// A successor backend inherits the ring's heartbeat state: starting from
+	// the last acked sequence means a beat posted while the driver VM was
+	// rebooting is answered by the new dispatcher's first pass.
+	b.hbSeen = b.ring.readU32(hdrHbAck)
 	// The driver calling kill_fasync on one of our opened files lands in
 	// our backend process's SIGIO path; relay it to the frontend.
 	proc.OnSIGIO(func() { b.notify(notifSIGIO) })
@@ -185,18 +200,22 @@ func (b *Backend) dispatch(p *sim.Proc) {
 			// Injected driver-VM death: the dispatcher vanishes mid-run.
 			// Posted operations stay unanswered until a Reconnect fails
 			// them with EREMOTE, exactly as after a real driver VM crash.
-			b.stopped = true
+			b.die()
 			return
 		}
+		b.serviceHeartbeat()
 		if slot, ok := b.oldestPosted(); ok {
 			b.ring.setSlotState(slot, slotRunning)
 			req := b.ring.readRequest(slot)
 			b.spawnHandler(req)
 			continue
 		}
-		// About to sleep: re-arm the doorbell, then re-check the queue so a
-		// post that raced with the scan is not lost.
+		// About to sleep: re-arm the doorbell, then re-check the queue (and
+		// the heartbeat word) so a post that raced with the scan is not lost.
 		b.doorbell.Reset()
+		if b.heartbeatPending() {
+			continue
+		}
 		if _, ok := b.oldestPosted(); ok {
 			continue
 		}
@@ -208,12 +227,95 @@ func (b *Backend) dispatch(p *sim.Proc) {
 				continue
 			}
 			b.doorbell.Reset()
+			if b.heartbeatPending() {
+				continue
+			}
 			if _, ok := b.oldestPosted(); ok {
 				continue
 			}
 		}
 		p.Wait(b.doorbell)
 	}
+}
+
+// heartbeatPending reports whether the watchdog has posted a heartbeat this
+// backend has not yet looked at. Observed-but-unacked beats (dropped or
+// deferred by fault injection) do not count — the dispatcher must not spin
+// on a beat it has already decided about.
+func (b *Backend) heartbeatPending() bool {
+	return b.ring.readU32(hdrHbReq) != b.hbSeen
+}
+
+// serviceHeartbeat echoes a pending watchdog heartbeat: the cheap ring no-op
+// driver-VM supervision uses as its liveness probe. A healthy backend copies
+// the request sequence into the ack word and completes toward the frontend;
+// the "cvd.heartbeat.drop" fault point swallows the ack (a driver VM too
+// wedged to answer), and "cvd.heartbeat.delay" defers it by the scripted
+// payload (a driver VM that is slow but alive — the false-positive hazard
+// the watchdog's miss threshold exists for).
+func (b *Backend) serviceHeartbeat() {
+	req := b.ring.readU32(hdrHbReq)
+	if req == b.hbSeen {
+		return
+	}
+	b.hbSeen = req
+	if faults.Point(b.driverK.Env, "cvd.heartbeat.drop") != nil {
+		b.HbDropped++
+		return
+	}
+	if d := faults.Point(b.driverK.Env, "cvd.heartbeat.delay"); d != nil {
+		delay := sim.Duration(d.Arg)
+		b.hv.Env.After(delay, func() {
+			if b.stopped {
+				return
+			}
+			b.ring.writeU32(hdrHbAck, req)
+			b.HbAcked++
+			b.complete()
+		})
+		return
+	}
+	b.ring.writeU32(hdrHbAck, req)
+	b.HbAcked++
+	b.complete()
+}
+
+// die marks the backend dead the abnormal way — injected crash or explicit
+// Kill — and fires the death notification supervision may have registered.
+// Orderly Stop does not come through here.
+func (b *Backend) die() {
+	if b.stopped {
+		return
+	}
+	b.stopped = true
+	if fn := b.onDeath; fn != nil {
+		b.onDeath = nil
+		fn()
+	}
+}
+
+// Kill terminates the backend as an injected driver-VM crash would: the
+// dispatcher exits without answering anything, and the death notification
+// fires. Tests and fault harnesses use it to crash one specific channel's
+// backend (the probabilistic "cvd.backend.die" point cannot aim).
+func (b *Backend) Kill() {
+	b.die()
+	b.doorbell.Trigger()
+}
+
+// Alive reports whether the backend's dispatcher is still serving the ring.
+func (b *Backend) Alive() bool { return !b.stopped }
+
+// OnDeath registers fn to run once if the backend dies abnormally (injected
+// crash or Kill; not an orderly Stop). Supervision registers here so an
+// explicit fault-plan kill is detected immediately rather than after K
+// missed heartbeats. A backend already dead fires fn at once.
+func (b *Backend) OnDeath(fn func()) {
+	if b.stopped {
+		fn()
+		return
+	}
+	b.onDeath = fn
 }
 
 func (b *Backend) oldestPosted() (int, bool) {

@@ -38,6 +38,11 @@ type Config struct {
 	// sleeping, in polling mode. Zero selects the paper's empirically
 	// chosen 200 µs (§5.1); the ablation experiment sweeps it.
 	PollWindow sim.Duration
+	// RequestDeadline bounds every forwarded operation's wait for its
+	// response; a request that outlives it fails with ETIMEDOUT. Zero means
+	// wait forever (the paper's behavior). Driver-VM supervision sets this
+	// so a guest blocked behind a dead backend unblocks on its own.
+	RequestDeadline sim.Duration
 }
 
 // Connect builds a CVD channel: a shared ring page between the guest and
@@ -104,6 +109,8 @@ func Connect(cfg Config) (*Frontend, *Backend, error) {
 		vecNotif:     vecNotif,
 		pollWQ:       cfg.GuestK.NewWaitQueue("cvd-poll-" + cfg.GuestPath),
 		backend:      be,
+		deadline:     cfg.RequestDeadline,
+		hbEvent:      cfg.HV.Env.NewEvent("cvd-hb-" + cfg.GuestPath),
 	}
 	for i := range fe.respEvents {
 		fe.respEvents[i] = cfg.HV.Env.NewEvent(fmt.Sprintf("cvd-resp-%s-%d", cfg.GuestPath, i))

@@ -38,9 +38,31 @@ type Frontend struct {
 	fasyncFiles  []*kernel.File
 	backend      *Backend
 
+	// deadline bounds how long a forwarded operation may wait for its
+	// response (0 = forever, the pre-supervision behavior). A request that
+	// outlives it fails with ETIMEDOUT and its slot is abandoned — reclaimed
+	// when a late response eventually lands or a Reconnect sweeps the ring.
+	deadline sim.Duration
+	// abandoned marks slots whose issuer timed out and left; the backend
+	// may still be executing them, so they are not freed until the response
+	// (or a Reconnect) arrives.
+	abandoned [slotCount]bool
+	// degraded fails every operation fast with ENODEV: the supervisor
+	// exhausted its restart budget on this device and gave up (§8 recovery's
+	// terminal state). Cleared by a successful driver-VM restart.
+	degraded bool
+
+	// Heartbeat state (driver-VM supervision): hbSeq is the last posted
+	// heartbeat sequence, hbEvent fires when the backend's ack for it is
+	// observed by the response ISR.
+	hbSeq   uint32
+	hbEvent *sim.Event
+
 	// Stats for tests and benches.
 	RoundTrips uint64
 	Rejected   uint64 // posts rejected because the queue was full
+	TimedOut   uint64 // requests failed by the per-request deadline
+	FastFailed uint64 // requests refused outright (dead backend / degraded)
 }
 
 var _ kernel.FileOps = (*Frontend)(nil)
@@ -74,12 +96,21 @@ func (fe *Frontend) kickBackend() {
 
 // scanDone fires the response event of every completed slot. It runs from
 // the response ISR (interrupt mode) or as the spinning requester's page
-// observation (polling mode).
+// observation (polling mode). Slots whose issuer timed out and left are
+// reclaimed here — the late response is discarded, never delivered.
 func (fe *Frontend) scanDone() {
 	for s := 0; s < slotCount; s++ {
 		if fe.ring.slotState(s) == slotDone {
+			if fe.abandoned[s] {
+				fe.abandoned[s] = false
+				fe.ring.setSlotState(s, slotFree)
+				continue
+			}
 			fe.respEvents[s].Trigger()
 		}
+	}
+	if fe.hbEvent != nil && fe.ring.readU32(hdrHbAck) == fe.hbSeq {
+		fe.hbEvent.Trigger()
 	}
 }
 
@@ -115,7 +146,21 @@ func (fe *Frontend) allocSlot() (int, bool) {
 }
 
 // roundTrip forwards one file operation and waits for its response.
+//
+// Fast-fail paths (driver-VM supervision): a degraded device refuses
+// everything with ENODEV; a dead backend (post-Stop, pre-Reconnect) refuses
+// with EREMOTE instead of enqueueing onto a ring nobody will drain. With a
+// per-request deadline configured, a request the backend never answers fails
+// with ETIMEDOUT and its slot is abandoned rather than leaking the issuer.
 func (fe *Frontend) roundTrip(t *kernel.Task, r request) (int32, kernel.Errno) {
+	if fe.degraded {
+		fe.FastFailed++
+		return -1, kernel.ENODEV
+	}
+	if fe.backend == nil || fe.backend.stopped {
+		fe.FastFailed++
+		return -1, kernel.EREMOTE
+	}
 	slot, ok := fe.allocSlot()
 	if !ok {
 		// All 100 queue slots in use: the DoS cap of §5.1.
@@ -130,21 +175,76 @@ func (fe *Frontend) roundTrip(t *kernel.Task, r request) (int32, kernel.Errno) {
 	t.Sim().Advance(perf.CostPost)
 	fe.ring.writeRequest(slot, r)
 	fe.kickBackend()
+	answered := true
 	if fe.mode == Polling && fe.window > 0 {
 		fe.ring.writeU32(hdrFrontendPoll, fe.ring.readU32(hdrFrontendPoll)+1)
 		woken := t.Sim().WaitTimeout(ev, fe.window)
 		fe.ring.writeU32(hdrFrontendPoll, fe.ring.readU32(hdrFrontendPoll)-1)
 		if !woken {
-			t.Sim().Wait(ev)
+			answered = fe.waitResponse(t, ev)
 		}
 	} else {
-		t.Sim().Wait(ev)
+		answered = fe.waitResponse(t, ev)
+	}
+	if !answered && fe.ring.slotState(slot) != slotDone {
+		// Deadline expired with no response. The backend may still be
+		// executing the operation, so the slot cannot be freed; mark it
+		// abandoned and let scanDone (or a Reconnect sweep) reclaim it.
+		fe.abandoned[slot] = true
+		fe.TimedOut++
+		return -1, kernel.ETIMEDOUT
 	}
 	t.Sim().Advance(perf.CostComplete)
 	ret, errno := fe.ring.readResponse(slot)
 	fe.ring.setSlotState(slot, slotFree)
 	fe.RoundTrips++
 	return ret, kernel.Errno(errno)
+}
+
+// waitResponse blocks until the slot's response event fires, bounded by the
+// per-request deadline when one is configured. Reports whether the event
+// fired (a completed slot whose interrupt was lost still counts as answered
+// via the caller's direct slot-state check).
+func (fe *Frontend) waitResponse(t *kernel.Task, ev *sim.Event) bool {
+	if fe.deadline > 0 {
+		return t.Sim().WaitTimeout(ev, fe.deadline)
+	}
+	t.Sim().Wait(ev)
+	return true
+}
+
+// SetDeadline installs the per-request deadline for subsequent operations
+// (0 disables). Supervision enables this so a request stuck behind a dead
+// driver VM times out with ETIMEDOUT instead of blocking its issuer forever.
+func (fe *Frontend) SetDeadline(d sim.Duration) { fe.deadline = d }
+
+// SetDegraded enters or leaves degraded mode: every subsequent operation
+// fails immediately with ENODEV. The supervisor degrades a device when its
+// restart budget is exhausted; a later successful driver-VM restart clears
+// the flag.
+func (fe *Frontend) SetDegraded(on bool) { fe.degraded = on }
+
+// Degraded reports whether the device is in degraded (fail-fast) mode.
+func (fe *Frontend) Degraded() bool { return fe.degraded }
+
+// Heartbeat posts one watchdog heartbeat — a cheap ring no-op that consumes
+// no request slot — and waits up to timeout for the backend to echo it.
+// It runs on the supervisor's own sim proc, not a guest task. Returns false
+// on a dead backend, a swallowed ack, or an ack later than the timeout.
+func (fe *Frontend) Heartbeat(p *sim.Proc, timeout sim.Duration) bool {
+	if fe.backend == nil || fe.backend.stopped {
+		return false
+	}
+	perf.Charge(fe.hv.Env, perf.CostWatchdogPing)
+	fe.hbSeq++
+	fe.ring.writeU32(hdrHbReq, fe.hbSeq)
+	fe.hbEvent.Reset()
+	fe.kickBackend()
+	if fe.ring.readU32(hdrHbAck) == fe.hbSeq {
+		return true
+	}
+	p.WaitTimeout(fe.hbEvent, timeout)
+	return fe.ring.readU32(hdrHbAck) == fe.hbSeq
 }
 
 // declare writes a grant set for the issuing process and charges the

@@ -51,6 +51,8 @@ const (
 	hdrBackendPoll  = 4  // u32: backend is spinning on the page
 	hdrFrontendPoll = 8  // u32: count of requesters spinning for responses
 	hdrNotifBits    = 12 // u32: pending notification bits
+	hdrHbReq        = 16 // u32: watchdog heartbeat sequence (frontend side)
+	hdrHbAck        = 20 // u32: last heartbeat sequence the backend echoed
 	hdrSize         = 96
 
 	slotSize  = 40

@@ -62,10 +62,18 @@ func Reconnect(fe *Frontend, h *hv.Hypervisor, driverVM *hv.VM, driverK *kernel.
 // waiter — requests the dead driver VM will never answer. Slots already in
 // slotDone keep their real response: the old backend finished the work but
 // its completion interrupt may have been lost with the driver VM, so only
-// the waiter's event needs (re-)triggering.
+// the waiter's event needs (re-)triggering. Abandoned slots — their issuer
+// already timed out with ETIMEDOUT — have no waiter and are simply
+// reclaimed; the dead backend can never deliver their late response.
 func (fe *Frontend) failInflight() {
 	for s := 0; s < slotCount; s++ {
-		switch fe.ring.slotState(s) {
+		st := fe.ring.slotState(s)
+		if fe.abandoned[s] && st != slotFree {
+			fe.abandoned[s] = false
+			fe.ring.setSlotState(s, slotFree)
+			continue
+		}
+		switch st {
 		case slotPosted, slotRunning:
 			fe.ring.writeResponse(s, -1, int32(kernel.EREMOTE))
 			fe.respEvents[s].Trigger()

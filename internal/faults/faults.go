@@ -35,6 +35,16 @@
 //	cvd.backend.die      CVD backend: the dispatcher dies mid-run, as when
 //	                     the driver VM crashes; posted operations are never
 //	                     answered until a Reconnect.
+//	cvd.heartbeat.drop   CVD backend: a watchdog heartbeat is consumed but
+//	                     never acknowledged — the driver VM looks dead to the
+//	                     supervisor while still serving requests (tests the
+//	                     K-miss threshold against false positives).
+//	cvd.heartbeat.delay  CVD backend: the heartbeat acknowledgement is
+//	                     deferred by Arg nanoseconds of virtual time — a
+//	                     slow-but-healthy driver VM.
+//	machine.restart.fail driver VM restart: the replacement driver VM fails
+//	                     to boot; the machine is untouched and the supervisor
+//	                     charges the attempt against its backoff budget.
 //	iommu.translate      IOMMU: a device DMA access faults.
 //	driver.evil          test drivers: attempt an undeclared memory
 //	                     operation (the compromised-driver probe the stress

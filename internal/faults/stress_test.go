@@ -34,14 +34,19 @@ import (
 	"paradice/internal/kernel"
 	"paradice/internal/mem"
 	"paradice/internal/sim"
+	"paradice/internal/supervise"
 )
 
 var (
-	stressSeeds = flag.Int("stress.seeds", 1000, "number of seeds TestStressSeeded sweeps")
-	stressSeed  = flag.Int64("stress.seed", -1, "replay a single stress seed (reproduction)")
+	stressSeeds      = flag.Int("stress.seeds", 1000, "number of seeds TestStressSeeded sweeps")
+	stressSeed       = flag.Int64("stress.seed", -1, "replay a single stress seed (reproduction)")
+	stressSupervised = flag.Bool("stress.supervised", false, "run every seed under driver-VM supervision (default: every 4th seed)")
 )
 
-const stressPath = "/dev/stressdev"
+const (
+	stressPath = "/dev/stressdev"
+	vmRAM      = 4 << 20
+)
 
 var (
 	sdNoop = devfile.IO('S', 0)
@@ -149,6 +154,68 @@ func newStressDriver(k *kernel.Kernel, evilVA mem.GuestVirt) (*stressDriver, err
 	return d, nil
 }
 
+// stressTarget adapts the bare cvd rig to internal/supervise: the one
+// supervised channel is the rig's frontend/backend pair, and Restart is the
+// §8 recovery (fresh driver VM + Reconnect) performed automatically under
+// fire. Restart here is instantaneous on the virtual clock — the stress
+// harness probes correctness under fault schedules, not recovery latency
+// (the root package's MTTR tests charge the real reboot cost).
+type stressTarget struct {
+	env      *sim.Env
+	h        *hv.Hypervisor
+	fe       *cvd.Frontend
+	be       *cvd.Backend
+	canaryVA mem.GuestVirt
+	drivers  []*stressDriver
+	gen      int
+}
+
+func (st *stressTarget) Channels() []supervise.Channel { return []supervise.Channel{st} }
+func (st *stressTarget) ID() string                    { return "guest:" + stressPath }
+func (st *stressTarget) Alive() bool                   { return st.be.Alive() }
+func (st *stressTarget) OnDeath(fn func())             { st.be.OnDeath(fn) }
+func (st *stressTarget) SetDegraded(on bool)           { st.fe.SetDegraded(on) }
+func (st *stressTarget) Heartbeat(p *sim.Proc, timeout sim.Duration) bool {
+	return st.fe.Heartbeat(p, timeout)
+}
+
+func (st *stressTarget) Restart() error {
+	if d := faults.Point(st.env, "machine.restart.fail"); d != nil {
+		// The replacement driver VM fails to boot; the supervisor counts
+		// the attempt against its backoff budget.
+		return d.Error()
+	}
+	st.be.Stop()
+	st.gen++
+	name := fmt.Sprintf("driver-r%d", st.gen)
+	vm, err := st.h.CreateVM(name, vmRAM)
+	if err != nil {
+		return err
+	}
+	k := kernel.New(name, kernel.Linux, st.env, vm.Space, vm.RAM)
+	drv, err := newStressDriver(k, st.canaryVA)
+	if err != nil {
+		return err
+	}
+	st.drivers = append(st.drivers, drv)
+	be, err := cvd.Reconnect(st.fe, st.h, vm, k, stressPath)
+	if err != nil {
+		return err
+	}
+	st.be = be
+	return nil
+}
+
+// evilTotals sums the compromised-driver probe counters across the original
+// driver and every supervised-restart replacement.
+func (st *stressTarget) evilTotals() (allowed, denied int) {
+	for _, d := range st.drivers {
+		allowed += d.evilAllowed
+		denied += d.evilDenied
+	}
+	return
+}
+
 // isErrnoOrNil reports whether a task-visible error is an honest errno (or
 // no error at all) — the only outcomes a fault schedule is allowed to
 // produce at the syscall boundary.
@@ -190,8 +257,13 @@ func runOne(seed int64, weaken bool) (retErr error) {
 	rng := plan.Rand()
 	env := sim.NewEnv()
 
+	// Every 4th seed (or all of them under -stress.supervised) runs with the
+	// driver-VM supervisor armed: deaths the plan injects are then healed
+	// automatically, under fire, while the workload keeps issuing operations.
+	// Derived from the seed alone so -stress.seed replay stays exact.
+	supervised := !weaken && (*stressSupervised || seed%4 == 3)
+
 	h := hv.New(env, 64<<20)
-	const vmRAM = 4 << 20
 	driverVM, err := h.CreateVM("driver", vmRAM)
 	if err != nil {
 		return err
@@ -224,10 +296,17 @@ func runOne(seed int64, weaken bool) (retErr error) {
 	if !weaken && rng.Intn(2) == 1 {
 		mode = cvd.Polling
 	}
+	var deadline sim.Duration
+	if supervised {
+		// Supervised deployments run with per-request deadlines so an issuer
+		// stuck behind a dead backend unblocks with ETIMEDOUT.
+		deadline = 5 * sim.Millisecond
+	}
 	fe, be, err := cvd.Connect(cvd.Config{
 		HV: h, GuestVM: guestVM, GuestK: guestK,
 		DriverVM: driverVM, DriverK: driverK,
 		DevicePath: stressPath, Mode: mode,
+		RequestDeadline: deadline,
 	})
 	if err != nil {
 		return err
@@ -251,9 +330,30 @@ func runOne(seed int64, weaken bool) (retErr error) {
 			// Half the seeds also kill the driver VM partway through.
 			plan.FailAt("cvd.backend.die", 1+rng.Intn(40))
 		}
+		if supervised {
+			// Supervised seeds additionally stress the supervision machinery
+			// itself: occasional swallowed heartbeat acks and restart-time
+			// boot failures.
+			plan.Probability("cvd.heartbeat.drop", 0.02)
+			plan.Probability("machine.restart.fail", 0.1)
+		}
 	}
 	faults.Install(env, plan)
 	defer faults.Uninstall(env)
+
+	var sup *supervise.Supervisor
+	var st *stressTarget
+	if supervised {
+		st = &stressTarget{env: env, h: h, fe: fe, be: be,
+			canaryVA: canaryVA, drivers: []*stressDriver{drv}}
+		sup = supervise.Start(env, st, supervise.Config{
+			HeartbeatEvery: 2 * sim.Millisecond,
+			BackoffBase:    sim.Millisecond,
+			BackoffCap:     8 * sim.Millisecond,
+			MaxRestarts:    3,
+			StableAfter:    20 * sim.Millisecond,
+		})
+	}
 
 	// Randomized workload: a few tasks, each issuing a few operations.
 	// Everything is drawn from the plan's rng before the simulation starts,
@@ -331,9 +431,11 @@ func runOne(seed int64, weaken bool) (retErr error) {
 					violations[i] = fmt.Errorf("op %d leaked non-errno error: %w", op, err)
 					break
 				}
-				if kernel.IsErrno(err, kernel.EREMOTE) || kernel.IsErrno(err, kernel.EINVAL) {
-					// Driver VM restarted under us: the fd is stale, exactly
-					// as §8 describes. Reopen and carry on.
+				if kernel.IsErrno(err, kernel.EREMOTE) || kernel.IsErrno(err, kernel.EINVAL) ||
+					kernel.IsErrno(err, kernel.ETIMEDOUT) {
+					// Driver VM restarted under us (or a request outlived its
+					// deadline): the fd is stale, exactly as §8 describes.
+					// Reopen and carry on.
 					if fd2, err2 := tk.Open(stressPath, flags); err2 == nil {
 						fd = fd2
 					} else if !isErrnoOrNil(err2) {
@@ -350,8 +452,13 @@ func runOne(seed int64, weaken bool) (retErr error) {
 	}
 
 	// Phase 1: run with faults firing. 50ms of simulated time is far beyond
-	// what the workload needs when nothing is stuck.
+	// what the workload needs when nothing is stuck. A supervisor, when
+	// armed, heals injected deaths inside this window; its watchdog keeps
+	// the calendar busy, so stop it before any full calendar drain.
 	env.RunUntil(env.Now().Add(50 * sim.Millisecond))
+	if sup != nil {
+		sup.Stop()
+	}
 	t1 := env.Now()
 
 	allDone := func() bool {
@@ -369,7 +476,11 @@ func runOne(seed int64, weaken bool) (retErr error) {
 	// the driver VM and reconnect the frontend.
 	if !allDone() {
 		faults.Uninstall(env)
-		be.Stop()
+		cur := be
+		if st != nil {
+			cur = st.be // the supervisor may have replaced the backend
+		}
+		cur.Stop()
 		driverVM2, err := h.CreateVM("driver-restarted", vmRAM)
 		if err != nil {
 			return err
@@ -381,6 +492,10 @@ func runOne(seed int64, weaken bool) (retErr error) {
 		if _, err := cvd.Reconnect(fe, h, driverVM2, driverK2, stressPath); err != nil {
 			return err
 		}
+		// The manual operator restart also lifts any degraded-mode verdict a
+		// budget-exhausted supervisor left behind, as Machine.RestartDriverVM
+		// does.
+		fe.SetDegraded(false)
 		env.Run()
 	}
 	if env.Now() < t1 {
@@ -405,18 +520,24 @@ func runOne(seed int64, weaken bool) (retErr error) {
 		}
 	}
 	// Invariant: isolation. The canary was never granted; it must be intact,
-	// and no undeclared driver copy may have been allowed through.
+	// and no undeclared driver copy may have been allowed through — counting
+	// the replacement drivers supervised restarts installed, which the fault
+	// plan attacks just like the original.
+	evilAllowed, evilDenied := drv.evilAllowed, drv.evilDenied
+	if st != nil {
+		evilAllowed, evilDenied = st.evilTotals()
+	}
 	got := make([]byte, len(canary))
 	if err := app.Mem.Read(canaryVA, got); err != nil {
 		return fmt.Errorf("canary readback: %v", err)
 	}
 	if string(got) != string(canary) {
 		return fmt.Errorf("invariant: canary corrupted: %q -> %q (evil allowed=%d denied=%d; %v)",
-			canary, got, drv.evilAllowed, drv.evilDenied, plan)
+			canary, got, evilAllowed, evilDenied, plan)
 	}
-	if drv.evilAllowed > 0 {
+	if evilAllowed > 0 {
 		return fmt.Errorf("invariant: hypervisor allowed %d undeclared driver copies (%v)",
-			drv.evilAllowed, plan)
+			evilAllowed, plan)
 	}
 	return nil
 }

@@ -23,6 +23,10 @@ const (
 	ENOSYS  Errno = 38
 	ETIME   Errno = 62
 	EREMOTE Errno = 66
+	// ETIMEDOUT is surfaced by the CVD frontend when a forwarded operation
+	// outlives its per-request deadline (driver-VM supervision): the issuer
+	// unblocks instead of waiting forever on a backend that may be dead.
+	ETIMEDOUT Errno = 110
 )
 
 var errnoNames = map[Errno]string{
@@ -30,6 +34,7 @@ var errnoNames = map[Errno]string{
 	EAGAIN: "EAGAIN", ENOMEM: "ENOMEM", EACCES: "EACCES", EFAULT: "EFAULT",
 	EBUSY: "EBUSY", ENODEV: "ENODEV", EINVAL: "EINVAL", ENOTTY: "ENOTTY",
 	ENOSPC: "ENOSPC", ENOSYS: "ENOSYS", ETIME: "ETIME", EREMOTE: "EREMOTE",
+	ETIMEDOUT: "ETIMEDOUT",
 }
 
 func (e Errno) Error() string {

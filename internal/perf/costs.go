@@ -86,6 +86,20 @@ const (
 	// empirically).
 	PollWindow = 200 * sim.Microsecond
 
+	// CostWatchdogPing is the supervisor's work to post one heartbeat into a
+	// channel's ring page (a header write plus the doorbell bookkeeping).
+	// The heartbeat round trip itself then pays the normal interrupt
+	// delivery costs, so a healthy ack lands ~2·CostInterVMIRQ later.
+	CostWatchdogPing = 500 * sim.Nanosecond
+
+	// CostDriverVMRestart is a full driver-VM reboot: tearing down the dead
+	// VM, booting a fresh kernel, and re-initializing every device driver
+	// (§8's "simply restarting the driver VM" is simple, not free). The
+	// value models a minimal driver-domain boot; together with the
+	// watchdog's detection latency it makes MTTR a measurable virtual-clock
+	// quantity — see the "Recovery" section of EXPERIMENTS.md.
+	CostDriverVMRestart = 100 * sim.Millisecond
+
 	// CostNetmapSync is the fixed kernel cost of one netmap TX-ring sync
 	// (the poll handler's ring scan and doorbell).
 	CostNetmapSync = 600 * sim.Nanosecond

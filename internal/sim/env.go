@@ -24,6 +24,15 @@ type Env struct {
 	// Trace, when non-nil, receives a line per scheduling decision.
 	// Intended for debugging deadlocks in tests.
 	Trace func(format string, args ...any)
+
+	// OnProcPanic, when non-nil, is consulted before a trapped process
+	// panic is re-raised on the Run caller's goroutine. Returning true
+	// consumes the panic — the simulation keeps running with the panicked
+	// process simply gone, which is how a supervisor models "a thread in
+	// the driver VM oopsed" without tearing the whole experiment down.
+	// Returning false preserves the default re-panic behavior. The handler
+	// runs in scheduler context and must not block.
+	OnProcPanic func(*ProcPanic) bool
 }
 
 type yieldKind int
@@ -154,10 +163,13 @@ func (e *Env) resume(p *Proc) {
 			// The process goroutine panicked: re-raise on the Run caller's
 			// goroutine so a harness can recover (and report, say, the
 			// reproducing seed) instead of the whole program dying on a
-			// goroutine nobody can recover from.
+			// goroutine nobody can recover from — unless a registered
+			// OnProcPanic handler (a supervisor) consumes it first.
 			tr := e.trap
 			e.trap = nil
-			panic(tr)
+			if e.OnProcPanic == nil || !e.OnProcPanic(tr) {
+				panic(tr)
+			}
 		}
 	}
 }

@@ -1,0 +1,60 @@
+package usrlib
+
+import (
+	"paradice/internal/devfile"
+	"paradice/internal/kernel"
+)
+
+// This file packages the §8 application-side recovery idiom: when the driver
+// VM is restarted under a running application, file descriptors opened before
+// the restart are stale — in-flight operations fail with EREMOTE (or
+// ETIMEDOUT when a per-request deadline fired first), and later operations on
+// the stale fd fail with EINVAL. The fix is always the same: reopen the
+// device file and retry. WithReopen is that loop; applications that link it
+// survive driver VM restarts without code changes, which is the whole point
+// of recovery at the device file boundary.
+
+// IsRestartErr reports whether err is one of the transient errnos a driver
+// VM restart produces at the device file boundary: EREMOTE (operation was in
+// flight when the driver VM died), ETIMEDOUT (per-request deadline fired on
+// an unresponsive backend), or EINVAL (the fd went stale across the
+// restart). ENODEV is deliberately NOT transient — it means the supervisor
+// exhausted its restart budget and degraded the device, so retrying is
+// hopeless.
+func IsRestartErr(err error) bool {
+	return kernel.IsErrno(err, kernel.EREMOTE) ||
+		kernel.IsErrno(err, kernel.ETIMEDOUT) ||
+		kernel.IsErrno(err, kernel.EINVAL)
+}
+
+// WithReopen opens the device file at path and runs op on the descriptor.
+// When op fails with a restart-transient errno, the descriptor is closed,
+// the device file reopened, and op retried — up to attempts tries in total.
+// Any other error (including ENODEV from a degraded device) is returned
+// immediately; so is the last transient error once attempts are exhausted.
+//
+// The reopen itself may also fail transiently (the replacement driver VM is
+// still booting); that consumes an attempt too, so a bounded caller cannot
+// spin forever against a machine that never heals.
+func WithReopen(t *kernel.Task, path string, flags devfile.OpenFlags, attempts int, op func(fd int) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for try := 0; try < attempts; try++ {
+		var fd int
+		fd, err = t.Open(path, flags)
+		if err != nil {
+			if IsRestartErr(err) {
+				continue
+			}
+			return err
+		}
+		err = op(fd)
+		t.Close(fd)
+		if err == nil || !IsRestartErr(err) {
+			return err
+		}
+	}
+	return err
+}

@@ -34,6 +34,7 @@ import (
 	"paradice/internal/kernel"
 	"paradice/internal/perf"
 	"paradice/internal/sim"
+	"paradice/internal/supervise"
 )
 
 // Mode selects the CVD transport.
@@ -105,6 +106,23 @@ type Config struct {
 	// paper's 200 µs; §5.1 notes the value was chosen empirically — the
 	// "ablation" experiment sweeps it).
 	PollWindow sim.Duration
+	// Supervision enables the driver-VM watchdog (internal/supervise): a
+	// hypervisor-layer health monitor that heartbeats every CVD channel,
+	// restarts the driver VM automatically on failure under an
+	// exponential-backoff budget, and degrades dead devices to fail-fast
+	// ENODEV when the budget is exhausted. The watchdog keeps the event
+	// calendar busy, so supervised machines should be driven with RunUntil
+	// (or stop the supervisor before draining with Run). Paradice only.
+	Supervision bool
+	// Supervise tunes the watchdog; zero fields take the supervise package
+	// defaults. Ignored unless Supervision is set.
+	Supervise supervise.Config
+	// RequestDeadline bounds every forwarded file operation's wait for its
+	// response; a stuck request fails with ETIMEDOUT instead of blocking
+	// its issuer forever. Zero means no deadline. When Supervision is on
+	// and this is zero, a default of 50 ms is applied so detection by
+	// timeout is never slower than detection by watchdog.
+	RequestDeadline sim.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +188,11 @@ type Machine struct {
 	drmSpec    map[devfile.IoctlCmd]*ioctlan.CmdSpec
 	guests     []*Guest
 	foreground *Guest
+
+	// Driver-VM restart/supervision state.
+	restarting   bool
+	restartEpoch uint64
+	supervisor   *supervise.Supervisor
 }
 
 // vramBase is where the GPU aperture sits in system-physical space, clear
@@ -228,6 +251,16 @@ func build(kind Kind, cfg Config) (*Machine, error) {
 	}
 	if err := m.bootDriverVM(); err != nil {
 		return nil, err
+	}
+	if cfg.Supervision {
+		if kind != KindParadice {
+			return nil, fmt.Errorf("paradice: supervision requires a driver VM (Paradice machines only)")
+		}
+		if m.cfg.RequestDeadline == 0 {
+			m.cfg.RequestDeadline = 50 * sim.Millisecond
+		}
+		m.supervisor = supervise.Start(env, machineTarget{m}, cfg.Supervise)
+		env.OnProcPanic = m.supervisor.HandleProcPanic
 	}
 	return m, nil
 }

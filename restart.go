@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"paradice/internal/cvd"
+	"paradice/internal/faults"
+	"paradice/internal/perf"
 )
 
 // RestartDriverVM implements the recovery path §8 sketches for a device
@@ -11,10 +13,22 @@ import (
 // simply restarting the driver VM"): the old driver VM is abandoned, every
 // device gets a function-level reset, a fresh driver VM boots with fresh
 // drivers, and each guest's CVD frontends are reconnected to new backends.
+// With Config.Supervision enabled the supervisor invokes this automatically;
+// it remains callable as the manual operator action.
 //
 // Consequences for guests, as on the real system: operations in flight when
 // the driver VM died fail with EREMOTE, and file descriptors opened before
-// the restart are invalid — applications reopen the device and continue.
+// the restart are invalid — applications reopen the device and continue
+// (internal/usrlib's WithReopen packages that retry loop). The reboot costs
+// perf.CostDriverVMRestart of virtual time when called from simulation
+// process context (the supervisor's watchdog), so recovery latency is a
+// measured quantity; from host context (a test calling it directly) the
+// clock does not move, as before.
+//
+// The restart epoch guards against concurrent invocation: the reboot yields
+// the simulated CPU while it "boots", and a second caller arriving in that
+// window — a second supervisor, a test, an over-eager operator — gets a
+// clean error instead of a half-torn-down machine.
 //
 // Restart with device data isolation enabled is not supported (the
 // hypervisor's protected-region state would need to be migrated to the new
@@ -26,6 +40,19 @@ func (m *Machine) RestartDriverVM() error {
 	if m.cfg.DataIsolation {
 		return fmt.Errorf("paradice: driver VM restart with data isolation is not supported")
 	}
+	if m.restarting {
+		return fmt.Errorf("paradice: driver VM restart already in progress (epoch %d)", m.restartEpoch)
+	}
+	if d := faults.Point(m.Env, "machine.restart.fail"); d != nil {
+		// Injected restart-time failure: the replacement driver VM fails to
+		// boot (bad image, exhausted host memory, ...). The machine is left
+		// exactly as it was; the supervisor counts the attempt against its
+		// backoff budget and tries again.
+		return fmt.Errorf("paradice: driver VM restart failed: %v", d.Error())
+	}
+	m.restarting = true
+	defer func() { m.restarting = false }()
+
 	// Tear down: stop every backend dispatcher, reset every device.
 	for _, g := range m.guests {
 		for _, be := range g.Backends {
@@ -38,6 +65,11 @@ func (m *Machine) RestartDriverVM() error {
 	m.Audio.Reset()
 	m.Mouse.Reset()
 	m.Keyboard.Reset()
+
+	// The reboot takes real (virtual) time when driven from a simulation
+	// process. Guests keep running meanwhile; their operations fail fast
+	// with EREMOTE at the frontend because every backend is stopped.
+	perf.Charge(m.Env, perf.CostDriverVMRestart)
 
 	// Boot a fresh driver VM with fresh drivers.
 	if err := m.bootDriverVM(); err != nil {
@@ -52,10 +84,21 @@ func (m *Machine) RestartDriverVM() error {
 				return err
 			}
 			g.Backends[path] = be
-			if path == PathMouse {
-				g.wireInputGate()
+			// A successful restart un-degrades the device: the fresh driver
+			// VM serves it again even if a supervisor had given up on it.
+			fe.SetDegraded(false)
+			// Re-apply per-channel policy hooks that lived on the old
+			// backend: the §5.1 foreground gate on every gated input
+			// device, not just the mouse.
+			if isGatedInputPath(path) {
+				g.wireInputGate(path)
 			}
 		}
 	}
+	m.restartEpoch++
 	return nil
 }
+
+// RestartEpoch counts completed driver-VM restarts. Tests use it to assert
+// that supervision did (or did not) restart the machine.
+func (m *Machine) RestartEpoch() uint64 { return m.restartEpoch }

@@ -1,0 +1,76 @@
+package paradice
+
+import (
+	"sort"
+
+	"paradice/internal/sim"
+	"paradice/internal/supervise"
+)
+
+// This file adapts a Machine to internal/supervise: the watchdog sees every
+// guest's CVD channels through the Channel interface and heals through
+// RestartDriverVM. The adapter resolves guests, frontends, and backends
+// lazily so channels added after machine construction (AddGuest +
+// Paravirtualize) and backends replaced by restarts are always the current
+// ones.
+
+// Supervisor returns the driver-VM supervisor, or nil when
+// Config.Supervision is off.
+func (m *Machine) Supervisor() *supervise.Supervisor { return m.supervisor }
+
+// machineTarget adapts the Machine to supervise.Target.
+type machineTarget struct{ m *Machine }
+
+func (t machineTarget) Channels() []supervise.Channel {
+	var chs []supervise.Channel
+	for _, g := range t.m.guests {
+		// Sorted paths: the sweep order (and with it every fault-plan
+		// consultation) must be deterministic, not Go map iteration order.
+		paths := make([]string, 0, len(g.Frontends))
+		for path := range g.Frontends {
+			paths = append(paths, path)
+		}
+		sort.Strings(paths)
+		for _, path := range paths {
+			chs = append(chs, machineChannel{g: g, path: path})
+		}
+	}
+	return chs
+}
+
+func (t machineTarget) Restart() error { return t.m.RestartDriverVM() }
+
+// machineChannel is one guest × device-file CVD connection. The identity is
+// the (guest, path) pair — stable across driver VM restarts even though the
+// backend object is replaced.
+type machineChannel struct {
+	g    *Guest
+	path string
+}
+
+func (c machineChannel) ID() string { return c.g.K.Name + ":" + c.path }
+
+func (c machineChannel) Heartbeat(p *sim.Proc, timeout sim.Duration) bool {
+	fe := c.g.Frontends[c.path]
+	if fe == nil {
+		return false
+	}
+	return fe.Heartbeat(p, timeout)
+}
+
+func (c machineChannel) Alive() bool {
+	be := c.g.Backends[c.path]
+	return be != nil && be.Alive()
+}
+
+func (c machineChannel) OnDeath(fn func()) {
+	if be := c.g.Backends[c.path]; be != nil {
+		be.OnDeath(fn)
+	}
+}
+
+func (c machineChannel) SetDegraded(on bool) {
+	if fe := c.g.Frontends[c.path]; fe != nil {
+		fe.SetDegraded(on)
+	}
+}
