@@ -13,7 +13,12 @@ import (
 	"strings"
 	"testing"
 
+	"paradice"
 	"paradice/internal/bench"
+	"paradice/internal/driver/drm"
+	"paradice/internal/kernel"
+	"paradice/internal/sim"
+	"paradice/internal/trace"
 )
 
 // runOnce executes an experiment one time regardless of b.N and reports
@@ -225,6 +230,93 @@ func BenchmarkAblationPollWindow(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- observability overhead: the nil-sink guarantees ---
+
+// The end-to-end no-op latencies of the seed cost model, captured before the
+// trace instrumentation landed. The instrumented code with no tracer
+// installed must reproduce them bit for bit: observability reads the virtual
+// clock, it never advances it.
+const (
+	noopGoldenInterrupts = 35309 * sim.Nanosecond
+	noopGoldenPolling    = 3109 * sim.Nanosecond
+)
+
+// TestTracingDisabledLatencyGolden runs the §6.1.1 no-op through the fully
+// instrumented stack with no tracer installed and demands the
+// pre-instrumentation latencies exactly.
+func TestTracingDisabledLatencyGolden(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		mode paradice.Mode
+		want sim.Duration
+	}{
+		{"interrupts", paradice.Interrupts, noopGoldenInterrupts},
+		{"polling", paradice.Polling, noopGoldenPolling},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			m, gk := guestKernel(t, paradice.Config{Mode: c.mode}, paradice.PathGPU)
+			p, err := gk.NewProcess("noop")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var last sim.Duration
+			done := make(chan error, 1)
+			p.SpawnTask("loop", func(tk *kernel.Task) {
+				fd, err := tk.Open(paradice.PathGPU, 2)
+				if err != nil {
+					done <- err
+					return
+				}
+				arg, err := p.Alloc(32)
+				if err != nil {
+					done <- err
+					return
+				}
+				for i := 0; i < 4; i++ { // the last iteration is steady state
+					start := tk.Sim().Now()
+					if _, err := tk.Ioctl(fd, drm.IoctlInfo, arg); err != nil {
+						done <- err
+						return
+					}
+					last = tk.Sim().Now().Sub(start)
+				}
+				done <- nil
+			})
+			m.Run()
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			if last != c.want {
+				t.Fatalf("no-op latency with tracing disabled = %v, pre-instrumentation golden %v", last, c.want)
+			}
+		})
+	}
+}
+
+// TestTracerNilSinkZeroAllocs asserts the disabled-tracing hot path is
+// allocation-free: every call instrumented code can make against the nil
+// sink — registry lookup included — costs zero allocations.
+func TestTracerNilSinkZeroAllocs(t *testing.T) {
+	env := sim.NewEnv() // no tracer installed: Get returns the nil sink
+	allocs := testing.AllocsPerRun(200, func() {
+		tr := trace.Get(env)
+		_ = tr.Now()
+		_ = tr.NewRID()
+		tr.Bind(nil, 1)
+		_ = tr.RIDOf(nil)
+		tr.Span(1, "vm", trace.LayerFE, "post", 0, 100)
+		tr.Group(1, "vm", trace.LayerSyscall, "ioctl", 0, 100)
+		tr.Instant(1, "vm", trace.LayerFaults, "point", "")
+		tr.Add("counter", 1)
+		tr.Set("gauge", 1)
+		tr.Observe("hist", 100)
+		tr.Unbind(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-sink tracer API allocates %.1f per call sequence, want 0", allocs)
+	}
 }
 
 func BenchmarkTable1DeviceInventory(b *testing.B) {

@@ -8,14 +8,20 @@
 //	paradice-bench -quick          # reduced iteration counts (~seconds)
 //	paradice-bench -exp fig2,fig5  # selected experiments
 //	paradice-bench -list           # list experiment IDs
+//	paradice-bench -json           # machine-readable results on stdout
+//	paradice-bench -trace DIR      # per-machine Chrome traces + metrics
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"paradice"
 	"paradice/internal/bench"
 )
 
@@ -23,6 +29,8 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts for a fast pass")
 	expFlag := flag.String("exp", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	jsonOut := flag.Bool("json", false, "emit results as JSON on stdout")
+	traceDir := flag.String("trace", "", "directory for per-machine Chrome traces and metrics dumps")
 	flag.Parse()
 
 	if *list {
@@ -46,21 +54,92 @@ func main() {
 		}
 	}
 
+	// With -trace, every machine an experiment builds gets a tracer; the
+	// trace and metrics of machine N of experiment E land in
+	// DIR/E-NN.trace.json and DIR/E-NN.metrics.txt after the experiment.
+	var traced []*paradice.Machine
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		bench.OnMachine = func(m *paradice.Machine) {
+			m.StartTrace()
+			traced = append(traced, m)
+		}
+	}
+
+	type jsonResult struct {
+		ID    string      `json:"id"`
+		Title string      `json:"title"`
+		Rows  []bench.Row `json:"rows,omitempty"`
+		Error string      `json:"error,omitempty"`
+	}
+	var results []jsonResult
+
 	failed := false
 	for _, e := range selected {
-		fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		if !*jsonOut {
+			fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+		}
 		rows, err := e.Run(*quick)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "  ERROR: %v\n", err)
+			results = append(results, jsonResult{ID: e.ID, Title: e.Title, Error: err.Error()})
 			failed = true
-			continue
+		} else {
+			results = append(results, jsonResult{ID: e.ID, Title: e.Title, Rows: rows})
+			if !*jsonOut {
+				printRows(rows, e.IsTable)
+				fmt.Println()
+			}
 		}
-		printRows(rows, e.IsTable)
-		fmt.Println()
+		for i, m := range traced {
+			if err := dumpTrace(m, *traceDir, e.ID, i); err != nil {
+				fmt.Fprintf(os.Stderr, "  trace export: %v\n", err)
+				failed = true
+			}
+		}
+		traced = traced[:0]
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// dumpTrace writes one traced machine's Chrome trace and metrics dump and
+// detaches the tracer.
+func dumpTrace(m *paradice.Machine, dir, exp string, n int) error {
+	tr := m.StopTrace()
+	if tr == nil {
+		return nil
+	}
+	base := filepath.Join(dir, fmt.Sprintf("%s-%02d", exp, n))
+	if err := writeFile(base+".trace.json", tr.WriteChrome); err != nil {
+		return err
+	}
+	return writeFile(base+".metrics.txt", tr.WriteMetrics)
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printRows(rows []bench.Row, table bool) {

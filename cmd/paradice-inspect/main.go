@@ -3,12 +3,18 @@
 // EPT footprint, the IOMMU domain contents, the devfs of every kernel, and
 // the device info the guests see. Useful for understanding how the pieces
 // of the paper's Figure 1(c) fit together.
+//
+// With -trace FILE the exercise workload runs under the cross-layer tracer
+// and its Chrome trace_event JSON is written to FILE (load in Perfetto);
+// with -json the state dump itself is machine-readable JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"paradice"
 	"paradice/internal/workload"
@@ -17,6 +23,8 @@ import (
 func main() {
 	di := flag.Bool("di", false, "enable device data isolation")
 	exercise := flag.Bool("exercise", true, "run a small workload before dumping")
+	traceOut := flag.String("trace", "", "write a Chrome trace of the exercise workload to this file")
+	jsonOut := flag.Bool("json", false, "dump machine state as JSON instead of text")
 	flag.Parse()
 
 	m, err := paradice.New(paradice.Config{DataIsolation: *di})
@@ -30,6 +38,9 @@ func main() {
 	if err := g.Paravirtualize(paradice.PathGPU, paradice.PathMouse, paradice.PathNetmap); err != nil {
 		log.Fatal(err)
 	}
+	if *traceOut != "" {
+		m.StartTrace()
+	}
 	if *exercise {
 		if _, err := workload.RunMatmul(m.Env, g.K, 32, 1); err != nil {
 			log.Fatal(err)
@@ -38,7 +49,29 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *traceOut != "" {
+		tr := m.StopTrace()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d trace events to %s\n", len(tr.Events()), *traceOut)
+	}
 
+	if *jsonOut {
+		dumpJSON(m, g)
+		return
+	}
+	dumpText(m, g)
+}
+
+func dumpText(m *paradice.Machine, g *paradice.Guest) {
 	fmt.Println("=== system-physical memory map ===")
 	for _, r := range m.HV.Phys.Ranges() {
 		fmt.Printf("  %-24s %#14x + %#x\n", r.Name, uint64(r.Base), r.Size)
@@ -86,6 +119,55 @@ func main() {
 	fmt.Printf("  audio: frames-played=%d underruns=%d\n", m.Audio.FramesPlayed, m.Audio.Underruns)
 
 	fmt.Printf("\nsimulated time: %v\n", m.Env.Now())
+}
+
+// dumpJSON emits the same architectural state as the text dump, structured.
+func dumpJSON(m *paradice.Machine, g *paradice.Guest) {
+	type vmInfo struct {
+		Name       string `json:"name"`
+		ID         int    `json:"id"`
+		RAMMiB     uint64 `json:"ram_mib"`
+		EPTEntries int    `json:"ept_entries"`
+	}
+	type channelInfo struct {
+		Path          string `json:"path"`
+		Ops           uint64 `json:"ops"`
+		Notifs        uint64 `json:"notifs"`
+		NotifsDropped uint64 `json:"notifs_dropped"`
+		WakeIRQs      uint64 `json:"wake_irqs"`
+		PolledPosts   uint64 `json:"polled_posts"`
+	}
+	out := struct {
+		VMs         []vmInfo      `json:"vms"`
+		DriverDevfs []string      `json:"driver_devfs"`
+		GuestDevfs  []string      `json:"guest_devfs"`
+		Channels    []channelInfo `json:"channels"`
+		GPUExecuted int64         `json:"gpu_executed"`
+		GPUFaults   int64         `json:"gpu_faults"`
+		NICTxPkts   int64         `json:"nic_tx_packets"`
+		SimTimeNs   int64         `json:"sim_time_ns"`
+	}{
+		DriverDevfs: m.DriverK.DevicePaths(),
+		GuestDevfs:  g.K.DevicePaths(),
+		GPUExecuted: int64(m.GPU.Executed),
+		GPUFaults:   int64(m.GPU.Faults),
+		NICTxPkts:   int64(m.NIC.TxPackets),
+		SimTimeNs:   int64(m.Env.Now()),
+	}
+	for _, vm := range m.HV.VMs() {
+		out.VMs = append(out.VMs, vmInfo{Name: vm.Name, ID: int(vm.ID), RAMMiB: vm.RAM >> 20, EPTEntries: vm.EPT.Count()})
+	}
+	for p, be := range g.Backends {
+		out.Channels = append(out.Channels, channelInfo{
+			Path: p, Ops: be.OpsHandled, Notifs: be.NotifsSent, NotifsDropped: be.NotifsDropped,
+			WakeIRQs: be.WakeIRQs, PolledPosts: be.PolledPosts,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func mcLo(m *paradice.Machine) uint64 { lo, _ := m.GPU.MCBounds(); return lo }

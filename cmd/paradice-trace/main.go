@@ -1,0 +1,167 @@
+// Command paradice-trace runs an instrumented Paradice machine and exports
+// the cross-layer request trace: a Chrome trace_event JSON file (load it in
+// Perfetto or chrome://tracing — one "process" per VM, one "thread" per
+// architectural layer) plus a plain-text metrics dump. It also prints the
+// §6.1.1 latency breakdown of the last forwarded no-op ioctl, hop by hop,
+// reconciled against the end-to-end latency.
+//
+// Usage:
+//
+//	paradice-trace                          # interrupts, 8 no-ops + matmul
+//	paradice-trace -mode polling            # polled transport
+//	paradice-trace -out t.json -metrics m.txt
+//	paradice-trace -sched                   # include scheduler events
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"paradice"
+	"paradice/internal/driver/drm"
+	"paradice/internal/kernel"
+	"paradice/internal/trace"
+	"paradice/internal/workload"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "interrupts", `CVD transport: "interrupts" or "polling"`)
+	out := flag.String("out", "trace.json", "Chrome trace_event output file (empty = skip)")
+	metricsOut := flag.String("metrics", "", "metrics dump output file (default stdout)")
+	ops := flag.Int("ops", 8, "forwarded no-op ioctls to trace")
+	matmul := flag.Int("matmul", 16, "matrix order for the GPU workload (0 = skip)")
+	sched := flag.Bool("sched", false, "include scheduler events in the trace")
+	flag.Parse()
+
+	var mode paradice.Mode
+	switch *modeFlag {
+	case "interrupts":
+		mode = paradice.Interrupts
+	case "polling":
+		mode = paradice.Polling
+	default:
+		log.Fatalf("unknown -mode %q (want interrupts or polling)", *modeFlag)
+	}
+
+	m, err := paradice.New(paradice.Config{Mode: mode})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := m.AddGuest("guest1", paradice.Linux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.Paravirtualize(paradice.PathGPU); err != nil {
+		log.Fatal(err)
+	}
+	tr := m.StartTrace()
+	if *sched {
+		tr.EnableSched(m.Env)
+	}
+
+	// The forwarded no-op of §6.1.1: an _IOR('d', 0x05, 32) Info ioctl
+	// crossing the full guest -> driver VM path and copying 32 bytes back.
+	p, err := g.K.NewProcess("noop")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var runErr error
+	p.SpawnTask("loop", func(t *kernel.Task) {
+		fd, err := t.Open(paradice.PathGPU, 2)
+		if err != nil {
+			runErr = err
+			return
+		}
+		arg, err := p.Alloc(32)
+		if err != nil {
+			runErr = err
+			return
+		}
+		for i := 0; i < *ops; i++ {
+			if _, err := t.Ioctl(fd, drm.IoctlInfo, arg); err != nil {
+				runErr = err
+				return
+			}
+		}
+	})
+	m.Run()
+	if runErr != nil {
+		log.Fatal(runErr)
+	}
+
+	// The breakdown targets the last no-op, so render it before the matmul
+	// workload appends its own (non-no-op) ioctls to the trace.
+	printBreakdown(tr, *modeFlag)
+
+	if *matmul > 0 {
+		if _, err := workload.RunMatmul(m.Env, g.K, *matmul, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d trace events to %s\n", len(tr.Events()), *out)
+	}
+
+	w := os.Stdout
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	} else {
+		fmt.Println("\n=== metrics ===")
+	}
+	if err := tr.WriteMetrics(w); err != nil {
+		log.Fatal(err)
+	}
+	if *metricsOut != "" {
+		fmt.Printf("wrote metrics dump to %s\n", *metricsOut)
+	}
+}
+
+// printBreakdown renders the last no-op ioctl's latency budget hop by hop —
+// the trace-derived equivalent of the paper's §6.1.1 decomposition.
+func printBreakdown(tr *trace.Tracer, mode string) {
+	var root trace.Event
+	found := false
+	for _, e := range tr.Events() {
+		if e.Kind == trace.KindGroup && e.Layer == trace.LayerSyscall && strings.HasPrefix(e.Name, "ioctl ") {
+			root, found = e, true
+		}
+	}
+	if !found {
+		fmt.Println("no ioctl recorded")
+		return
+	}
+	fmt.Printf("=== forwarded no-op breakdown (%s, request %d) ===\n", mode, root.RID)
+	var sum int64
+	for _, e := range tr.Events() {
+		if e.Kind != trace.KindSpan || e.RID != root.RID {
+			continue
+		}
+		d := int64(e.Dur())
+		sum += d
+		fmt.Printf("  %-10s %-8s %-14s %8d ns\n", e.VM, e.Layer, e.Name, d)
+	}
+	fmt.Printf("  %-10s %-8s %-14s %8d ns (end-to-end %d ns)\n",
+		"", "", "total", sum, int64(root.Dur()))
+	if sum != int64(root.Dur()) {
+		fmt.Println("  WARNING: spans do not reconcile with end-to-end latency")
+	}
+}

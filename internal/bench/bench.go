@@ -76,6 +76,19 @@ func Find(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// OnMachine, when non-nil, observes every machine an experiment builds.
+// The paradice-bench -trace flag uses it to install a tracer on each one
+// and collect the traces after the run; it never alters the measurement
+// (tracing reads the virtual clock, it does not advance it).
+var OnMachine func(*paradice.Machine)
+
+func built(m *paradice.Machine) *paradice.Machine {
+	if OnMachine != nil {
+		OnMachine(m)
+	}
+	return m
+}
+
 // --- platform builders ---
 
 func native(cfg paradice.Config) (*paradice.Machine, *kernel.Kernel, error) {
@@ -83,7 +96,7 @@ func native(cfg paradice.Config) (*paradice.Machine, *kernel.Kernel, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return m, m.AppKernel(), nil
+	return built(m), m.AppKernel(), nil
 }
 
 func deviceAssign(cfg paradice.Config) (*paradice.Machine, *kernel.Kernel, error) {
@@ -91,7 +104,7 @@ func deviceAssign(cfg paradice.Config) (*paradice.Machine, *kernel.Kernel, error
 	if err != nil {
 		return nil, nil, err
 	}
-	return m, m.AppKernel(), nil
+	return built(m), m.AppKernel(), nil
 }
 
 func paradiceGuest(cfg paradice.Config, flavor kernel.Flavor, paths ...string) (*paradice.Machine, *kernel.Kernel, error) {
@@ -106,7 +119,7 @@ func paradiceGuest(cfg paradice.Config, flavor kernel.Flavor, paths ...string) (
 	if err := g.Paravirtualize(paths...); err != nil {
 		return nil, nil, err
 	}
-	return m, g.K, nil
+	return built(m), g.K, nil
 }
 
 // gpuConfigs are the four configurations of Figures 4 and 5.
@@ -386,6 +399,7 @@ func RunFig6(quick bool) ([]Row, error) {
 			// simultaneously with the other guests (§6.1.4).
 			workload.StartMatmulLoop(g.K, order, runs, slots[i].res, slots[i].err)
 		}
+		built(m)
 		m.Run()
 		for i := range slots {
 			var total sim.Duration

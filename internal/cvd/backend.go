@@ -10,7 +10,35 @@ import (
 	"paradice/internal/mem"
 	"paradice/internal/perf"
 	"paradice/internal/sim"
+	"paradice/internal/trace"
 )
+
+// opName names a forwarded op code for trace spans and error messages.
+func opName(op uint8) string {
+	switch op {
+	case opOpen:
+		return "open"
+	case opRelease:
+		return "release"
+	case opRead:
+		return "read"
+	case opWrite:
+		return "write"
+	case opIoctl:
+		return "ioctl"
+	case opMmap:
+		return "mmap"
+	case opMunmap:
+		return "munmap"
+	case opFault:
+		return "fault"
+	case opPoll:
+		return "poll"
+	case opFasync:
+		return "fasync"
+	}
+	return "?"
+}
 
 // Mode selects the CVD transport: inter-VM interrupts (default) or the
 // polling mode for high-performance applications (§5.1), in which both
@@ -156,6 +184,7 @@ func newBackend(h *hv.Hypervisor, driverVM, guestVM *hv.VM, driverK *kernel.Kern
 	proc.OnSIGIO(func() { b.notify(notifSIGIO) })
 	driverVM.RegisterISR(vecToBackend, func() {
 		b.WakeIRQs++
+		trace.Get(driverK.Env).Add("cvd.backend.wake_irqs", 1)
 		b.doorbell.Trigger()
 	})
 	driverK.Env.Spawn("cvd-dispatch-"+guestVM.Name, b.dispatch)
@@ -176,10 +205,12 @@ func (b *Backend) notify(bits uint32) {
 	}
 	if b.notifyGate != nil && !b.notifyGate() {
 		b.NotifsDropped++
+		trace.Get(b.hv.Env).Add("cvd.notify.dropped", 1)
 		return
 	}
 	b.ring.postNotif(bits)
 	b.NotifsSent++
+	trace.Get(b.hv.Env).Add("cvd.notify.sent", 1)
 	b.hv.SendInterrupt(b.guestVM, b.vecNotif)
 }
 
@@ -261,6 +292,7 @@ func (b *Backend) serviceHeartbeat() {
 	b.hbSeen = req
 	if faults.Point(b.driverK.Env, "cvd.heartbeat.drop") != nil {
 		b.HbDropped++
+		trace.Get(b.driverK.Env).Add("cvd.heartbeat.dropped", 1)
 		return
 	}
 	if d := faults.Point(b.driverK.Env, "cvd.heartbeat.delay"); d != nil {
@@ -271,13 +303,15 @@ func (b *Backend) serviceHeartbeat() {
 			}
 			b.ring.writeU32(hdrHbAck, req)
 			b.HbAcked++
-			b.complete()
+			trace.Get(b.driverK.Env).Add("cvd.heartbeat.acked", 1)
+			b.complete(0)
 		})
 		return
 	}
 	b.ring.writeU32(hdrHbAck, req)
 	b.HbAcked++
-	b.complete()
+	trace.Get(b.driverK.Env).Add("cvd.heartbeat.acked", 1)
+	b.complete(0)
 }
 
 // die marks the backend dead the abnormal way — injected crash or explicit
@@ -337,13 +371,28 @@ func (b *Backend) oldestPosted() (int, bool) {
 // so an operation blocking in the driver does not stall the queue.
 func (b *Backend) spawnHandler(req request) {
 	b.driverK.Env.Spawn(fmt.Sprintf("cvd-op-%s-%d", b.guestVM.Name, req.seq), func(sp *sim.Proc) {
+		tr := trace.Get(b.driverK.Env)
+		rid := uint64(req.rid)
+		// Bind the handler proc to the forwarded request's ID so layers that
+		// only see the Env (hypervisor memory ops, IOMMU) attribute their
+		// spans to the right request.
+		tr.Bind(sp, rid)
+		defer tr.Unbind(sp)
+		dstart := tr.Now()
 		sp.Advance(perf.CostPost) // deserialize the request
+		tr.Span(rid, b.driverVM.Name, trace.LayerBE, "dispatch", dstart, tr.Now())
 		task := b.proc.AdoptTask(fmt.Sprintf("op%d", req.seq), sp)
 		conduit := &remoteConduit{hv: b.hv, guest: b.guestVM, drv: b.driverVM, ref: req.ref}
 		restore := task.Mark(conduit)
+		estart := tr.Now()
 		ret, errno := b.execute(task, req)
 		restore()
+		if tr != nil {
+			tr.Group(rid, b.driverVM.Name, trace.LayerBE, "execute "+opName(req.op), estart, tr.Now())
+		}
+		cstart := tr.Now()
 		sp.Advance(perf.CostComplete)
+		tr.Span(rid, b.driverVM.Name, trace.LayerBE, "complete", cstart, tr.Now())
 		if b.stopped {
 			// The backend died (Stop, or an injected driver-VM crash)
 			// while this handler was executing. The ring now belongs to a
@@ -354,15 +403,20 @@ func (b *Backend) spawnHandler(req request) {
 		}
 		b.ring.writeResponse(req.slot, ret, int32(errno))
 		b.OpsHandled++
-		b.complete()
+		tr.Add("cvd.backend.ops", 1)
+		b.complete(rid)
 	})
 }
 
 // complete signals the frontend that a response is ready: a cheap
 // shared-page observation if a requester is spinning, an inter-VM interrupt
-// otherwise.
-func (b *Backend) complete() {
+// otherwise. rid labels the crossing's trace span (0 for heartbeat acks).
+func (b *Backend) complete(rid uint64) {
 	if b.ring.readU32(hdrFrontendPoll) > 0 {
+		if tr := trace.Get(b.hv.Env); tr != nil {
+			now := tr.Now()
+			tr.Span(rid, b.guestVM.Name, trace.LayerIRQ, "poll-cross", now, now.Add(perf.CostPollCross))
+		}
 		b.hv.Env.After(perf.CostPollCross, func() {
 			// The spinning requester notices the state change on its next
 			// poll iteration; the response event is triggered by the

@@ -111,6 +111,9 @@ func Connect(cfg Config) (*Frontend, *Backend, error) {
 		backend:      be,
 		deadline:     cfg.RequestDeadline,
 		hbEvent:      cfg.HV.Env.NewEvent("cvd-hb-" + cfg.GuestPath),
+		path:         cfg.GuestPath,
+		vm:           cfg.GuestVM.Name,
+		m:            newFeMetricNames(cfg.GuestPath),
 	}
 	for i := range fe.respEvents {
 		fe.respEvents[i] = cfg.HV.Env.NewEvent(fmt.Sprintf("cvd-resp-%s-%d", cfg.GuestPath, i))

@@ -10,6 +10,7 @@ import (
 	"paradice/internal/mem"
 	"paradice/internal/perf"
 	"paradice/internal/sim"
+	"paradice/internal/trace"
 )
 
 // Frontend is the CVD frontend: it implements kernel.FileOps for a virtual
@@ -63,6 +64,38 @@ type Frontend struct {
 	Rejected   uint64 // posts rejected because the queue was full
 	TimedOut   uint64 // requests failed by the per-request deadline
 	FastFailed uint64 // requests refused outright (dead backend / degraded)
+
+	// path is the guest-visible device path; vm the guest kernel's name.
+	// m holds the per-path metric names, precomputed at Connect so the hot
+	// path never builds strings.
+	path string
+	vm   string
+	m    feMetricNames
+}
+
+// feMetricNames are the frontend's per-device-path metric names, built once
+// at Connect time (tracing must cost nothing but a map lookup when off, and
+// no string concatenation when on).
+type feMetricNames struct {
+	ops, bytes, rejected, timedOut, fastFailed string
+	lat                                        string
+	errTimedOut, errNoDev, errRemote, errBusy  string
+}
+
+func newFeMetricNames(path string) feMetricNames {
+	p := "cvd." + path
+	return feMetricNames{
+		ops:         p + ".ops",
+		bytes:       p + ".bytes",
+		rejected:    p + ".rejected",
+		timedOut:    p + ".timedout",
+		fastFailed:  p + ".fastfailed",
+		lat:         p + ".roundtrip",
+		errTimedOut: p + ".errno.ETIMEDOUT",
+		errNoDev:    p + ".errno.ENODEV",
+		errRemote:   p + ".errno.EREMOTE",
+		errBusy:     p + ".errno.EBUSY",
+	}
 }
 
 var _ kernel.FileOps = (*Frontend)(nil)
@@ -84,10 +117,15 @@ func (fe *Frontend) fileID(c *kernel.FopCtx) uint16 {
 }
 
 // kickBackend makes the backend notice a newly posted slot: a shared-page
-// observation if it is spinning, an inter-VM interrupt otherwise.
-func (fe *Frontend) kickBackend() {
+// observation if it is spinning, an inter-VM interrupt otherwise. rid labels
+// the crossing's trace span (0 for heartbeats and other unattributed kicks).
+func (fe *Frontend) kickBackend(rid uint64) {
 	if fe.ring.readU32(hdrBackendPoll) == 1 {
 		fe.backend.PolledPosts++
+		if tr := trace.Get(fe.hv.Env); tr != nil {
+			now := tr.Now()
+			tr.Span(rid, fe.driverVM.Name, trace.LayerIRQ, "poll-cross", now, now.Add(perf.CostPollCross))
+		}
 		fe.hv.Env.After(perf.CostPollCross, fe.backend.doorbell.Trigger)
 		return
 	}
@@ -152,29 +190,42 @@ func (fe *Frontend) allocSlot() (int, bool) {
 // with EREMOTE instead of enqueueing onto a ring nobody will drain. With a
 // per-request deadline configured, a request the backend never answers fails
 // with ETIMEDOUT and its slot is abandoned rather than leaking the issuer.
-func (fe *Frontend) roundTrip(t *kernel.Task, r request) (int32, kernel.Errno) {
+func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno) {
+	t := c.Task
+	tr := trace.Get(fe.guestK.Env)
+	rid := c.RID
+	start := tr.Now()
+	tr.Add(fe.m.ops, 1)
 	if fe.degraded {
 		fe.FastFailed++
+		tr.Add(fe.m.fastFailed, 1)
+		tr.Add(fe.m.errNoDev, 1)
 		return -1, kernel.ENODEV
 	}
 	if fe.backend == nil || fe.backend.stopped {
 		fe.FastFailed++
+		tr.Add(fe.m.fastFailed, 1)
+		tr.Add(fe.m.errRemote, 1)
 		return -1, kernel.EREMOTE
 	}
 	slot, ok := fe.allocSlot()
 	if !ok {
 		// All 100 queue slots in use: the DoS cap of §5.1.
 		fe.Rejected++
+		tr.Add(fe.m.rejected, 1)
+		tr.Add(fe.m.errBusy, 1)
 		return -1, kernel.EBUSY
 	}
 	r.slot = slot
 	r.seq = fe.nextSeq
+	r.rid = uint32(rid)
 	fe.nextSeq++
 	ev := fe.respEvents[slot]
 	ev.Reset()
 	t.Sim().Advance(perf.CostPost)
+	tr.Span(rid, fe.vm, trace.LayerFE, "post", start, tr.Now())
 	fe.ring.writeRequest(slot, r)
-	fe.kickBackend()
+	fe.kickBackend(rid)
 	answered := true
 	if fe.mode == Polling && fe.window > 0 {
 		fe.ring.writeU32(hdrFrontendPoll, fe.ring.readU32(hdrFrontendPoll)+1)
@@ -192,12 +243,20 @@ func (fe *Frontend) roundTrip(t *kernel.Task, r request) (int32, kernel.Errno) {
 		// abandoned and let scanDone (or a Reconnect sweep) reclaim it.
 		fe.abandoned[slot] = true
 		fe.TimedOut++
+		tr.Add(fe.m.timedOut, 1)
+		tr.Add(fe.m.errTimedOut, 1)
 		return -1, kernel.ETIMEDOUT
 	}
+	cstart := tr.Now()
 	t.Sim().Advance(perf.CostComplete)
+	tr.Span(rid, fe.vm, trace.LayerFE, "complete", cstart, tr.Now())
 	ret, errno := fe.ring.readResponse(slot)
 	fe.ring.setSlotState(slot, slotFree)
 	fe.RoundTrips++
+	tr.Observe(fe.m.lat, tr.Now().Sub(start))
+	if (r.op == opRead || r.op == opWrite) && errno == 0 && ret > 0 {
+		tr.Add(fe.m.bytes, uint64(ret))
+	}
 	return ret, kernel.Errno(errno)
 }
 
@@ -239,7 +298,7 @@ func (fe *Frontend) Heartbeat(p *sim.Proc, timeout sim.Duration) bool {
 	fe.hbSeq++
 	fe.ring.writeU32(hdrHbReq, fe.hbSeq)
 	fe.hbEvent.Reset()
-	fe.kickBackend()
+	fe.kickBackend(0)
 	if fe.ring.readU32(hdrHbAck) == fe.hbSeq {
 		return true
 	}
@@ -258,7 +317,10 @@ func (fe *Frontend) declare(c *kernel.FopCtx, ops []grant.Op) (uint32, error) {
 		// full; callers surface ENOMEM to the application.
 		return 0, d.Error()
 	}
+	tr := trace.Get(fe.guestK.Env)
+	start := tr.Now()
 	perf.Charge(fe.guestK.Env, sim.Duration(len(ops))*perf.CostGrantDeclare)
+	tr.Span(c.RID, fe.vm, trace.LayerFE, "grant-declare", start, tr.Now())
 	return fe.grants.Declare(c.Task.Proc.PT.Root(), ops)
 }
 
@@ -273,7 +335,7 @@ func errOr[T any](v T, e kernel.Errno) (T, error) {
 func (fe *Frontend) Open(c *kernel.FopCtx) error {
 	id := fe.nextFileID
 	fe.nextFileID++
-	_, errno := fe.roundTrip(c.Task, request{op: opOpen, fileID: id, arg0: uint64(c.File.Flags)})
+	_, errno := fe.roundTrip(c, request{op: opOpen, fileID: id, arg0: uint64(c.File.Flags)})
 	if errno != 0 {
 		return errno
 	}
@@ -290,7 +352,7 @@ func (fe *Frontend) Release(c *kernel.FopCtx) error {
 			break
 		}
 	}
-	_, errno := fe.roundTrip(c.Task, request{op: opRelease, fileID: id})
+	_, errno := fe.roundTrip(c, request{op: opRelease, fileID: id})
 	return errOrNil(errno)
 }
 
@@ -313,7 +375,7 @@ func (fe *Frontend) Read(c *kernel.FopCtx, dst mem.GuestVirt, n int) (int, error
 		}
 		defer fe.grants.Revoke(ref)
 	}
-	ret, errno := fe.roundTrip(c.Task, request{op: opRead, fileID: fe.fileID(c), ref: ref, arg0: uint64(dst), arg1: uint64(n)})
+	ret, errno := fe.roundTrip(c, request{op: opRead, fileID: fe.fileID(c), ref: ref, arg0: uint64(dst), arg1: uint64(n)})
 	return errOr(int(ret), errno)
 }
 
@@ -328,7 +390,7 @@ func (fe *Frontend) Write(c *kernel.FopCtx, src mem.GuestVirt, n int) (int, erro
 		}
 		defer fe.grants.Revoke(ref)
 	}
-	ret, errno := fe.roundTrip(c.Task, request{op: opWrite, fileID: fe.fileID(c), ref: ref, arg0: uint64(src), arg1: uint64(n)})
+	ret, errno := fe.roundTrip(c, request{op: opWrite, fileID: fe.fileID(c), ref: ref, arg0: uint64(src), arg1: uint64(n)})
 	return errOr(int(ret), errno)
 }
 
@@ -362,7 +424,7 @@ func (fe *Frontend) Ioctl(c *kernel.FopCtx, cmd devfile.IoctlCmd, arg mem.GuestV
 	if ref != 0 {
 		defer fe.grants.Revoke(ref)
 	}
-	ret, errno := fe.roundTrip(c.Task, request{op: opIoctl, fileID: fe.fileID(c), ref: ref, arg0: uint64(cmd), arg1: uint64(arg)})
+	ret, errno := fe.roundTrip(c, request{op: opIoctl, fileID: fe.fileID(c), ref: ref, arg0: uint64(cmd), arg1: uint64(arg)})
 	return errOr(ret, errno)
 }
 
@@ -385,7 +447,7 @@ func (fe *Frontend) Mmap(c *kernel.FopCtx, v *kernel.VMA) error {
 		return kernel.ENOMEM
 	}
 	id := fe.fileID(c)
-	_, errno := fe.roundTrip(c.Task, request{op: opMmap, fileID: id, ref: ref,
+	_, errno := fe.roundTrip(c, request{op: opMmap, fileID: id, ref: ref,
 		arg0: uint64(v.Start), arg1: v.Len, arg2: v.Pgoff})
 	if errno != 0 {
 		fe.grants.Revoke(ref)
@@ -410,7 +472,7 @@ func (fe *Frontend) onUnmap(c *kernel.FopCtx, v *kernel.VMA) error {
 			}
 		}
 	}
-	_, errno := fe.roundTrip(c.Task, request{op: opMunmap, fileID: st.fileID, ref: st.ref, arg0: uint64(v.Start)})
+	_, errno := fe.roundTrip(c, request{op: opMunmap, fileID: st.fileID, ref: st.ref, arg0: uint64(v.Start)})
 	fe.grants.Revoke(st.ref)
 	return errOrNil(errno)
 }
@@ -422,7 +484,7 @@ func (fe *Frontend) Fault(c *kernel.FopCtx, v *kernel.VMA, va mem.GuestVirt) err
 	if !ok {
 		return kernel.EFAULT
 	}
-	_, errno := fe.roundTrip(c.Task, request{op: opFault, fileID: st.fileID, ref: st.ref,
+	_, errno := fe.roundTrip(c, request{op: opFault, fileID: st.fileID, ref: st.ref,
 		arg0: uint64(va), arg1: uint64(v.Start)})
 	return errOrNil(errno)
 }
@@ -436,7 +498,7 @@ func (fe *Frontend) Poll(c *kernel.FopCtx, pt *kernel.PollTable) devfile.PollMas
 	if want == 0 {
 		want = devfile.PollIn | devfile.PollOut
 	}
-	ret, errno := fe.roundTrip(c.Task, request{op: opPoll, fileID: fe.fileID(c), arg0: uint64(want)})
+	ret, errno := fe.roundTrip(c, request{op: opPoll, fileID: fe.fileID(c), arg0: uint64(want)})
 	if errno != 0 {
 		return devfile.PollErr
 	}
@@ -449,7 +511,7 @@ func (fe *Frontend) Fasync(c *kernel.FopCtx, on bool) error {
 	if on {
 		v = 1
 	}
-	_, errno := fe.roundTrip(c.Task, request{op: opFasync, fileID: fe.fileID(c), arg0: v})
+	_, errno := fe.roundTrip(c, request{op: opFasync, fileID: fe.fileID(c), arg0: v})
 	if errno != 0 {
 		return errno
 	}

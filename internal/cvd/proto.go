@@ -66,8 +66,8 @@ const (
 	sSeq   = 12 // u32: FIFO sequence
 	sArg0  = 16 // u64
 	sArg1  = 24 // u64
-	sRet   = 32 // i32 (response)
-	sErrno = 36 // i32 (response)
+	sRet   = 32 // i32 (response); u32 arg2 low half in requests
+	sErrno = 36 // i32 (response); u32 trace request ID in requests
 )
 
 // Notification bits (backend -> frontend).
@@ -126,7 +126,8 @@ type request struct {
 	seq    uint32
 	arg0   uint64
 	arg1   uint64
-	arg2   uint64 // request reuse of the sRet field
+	arg2   uint64 // request reuse of the sRet field (low 32 bits)
+	rid    uint32 // trace request ID; request reuse of the sErrno field
 }
 
 func (p page) writeRequest(slot int, r request) {
@@ -136,7 +137,12 @@ func (p page) writeRequest(slot int, r request) {
 	p.writeU32(base+sSeq, r.seq)
 	p.writeU64(base+sArg0, r.arg0)
 	p.writeU64(base+sArg1, r.arg1)
-	p.writeU64(base+sRet, r.arg2)
+	p.writeU32(base+sRet, uint32(r.arg2))
+	// The errno word carries the trace request ID frontend -> backend; the
+	// response overwrites it. The ring page is exactly full (96-byte header
+	// + 100×40-byte slots), so tracing reuses dead request-direction bytes
+	// rather than growing the slot.
+	p.writeU32(base+sErrno, r.rid)
 	p.writeU32(base+sState, slotPosted)
 }
 
@@ -151,7 +157,8 @@ func (p page) readRequest(slot int) request {
 		seq:    p.readU32(base + sSeq),
 		arg0:   p.readU64(base + sArg0),
 		arg1:   p.readU64(base + sArg1),
-		arg2:   p.readU64(base + sRet),
+		arg2:   uint64(p.readU32(base + sRet)),
+		rid:    p.readU32(base + sErrno),
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"paradice/internal/iommu"
 	"paradice/internal/mem"
 	"paradice/internal/sim"
+	"paradice/internal/trace"
 )
 
 // Command opcodes, as encoded in command-stream words by userspace
@@ -207,7 +208,16 @@ func (g *GPU) engine(p *sim.Proc) {
 		}
 		cmd := g.queue[0]
 		g.queue = g.queue[1:]
+		tr := trace.Get(g.env)
+		start := tr.Now()
 		g.exec(p, cmd)
+		if tr != nil {
+			// Device compute/copy time is not attributable to one forwarded
+			// request — commands execute asynchronously after the submitting
+			// ioctl returned — so engine spans carry rid 0.
+			tr.Span(0, "device", trace.LayerDevice, cmdName(cmd.op), start, tr.Now())
+			tr.Add("device.gpu.cmds", 1)
+		}
 		g.Executed++
 		if cmd.fenceSeq != 0 {
 			g.fenceSeq = cmd.fenceSeq
@@ -238,6 +248,18 @@ func (g *GPU) vram(off, size uint64) (mem.SysPhys, error) {
 			off, size, g.mcLow, g.mcHigh)
 	}
 	return g.vramBase + mem.SysPhys(off), nil
+}
+
+func cmdName(op uint32) string {
+	switch op {
+	case OpDraw:
+		return "gpu-draw"
+	case OpCompute:
+		return "gpu-compute"
+	case OpCopy:
+		return "gpu-copy"
+	}
+	return "gpu-nop"
 }
 
 func (g *GPU) exec(p *sim.Proc, c EngineCmd) {

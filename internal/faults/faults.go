@@ -66,6 +66,7 @@ import (
 	"sync"
 
 	"paradice/internal/sim"
+	"paradice/internal/trace"
 )
 
 // Plan decides which injection points fire. A Plan belongs to one
@@ -233,5 +234,14 @@ func Point(env *sim.Env, name string) *Decision {
 	if p == nil {
 		return nil
 	}
-	return p.decide(name)
+	d := p.decide(name)
+	if d != nil {
+		// A fired injection is an observable event: the trace shows it inline
+		// with the request it hit, and the metrics dump counts it per point.
+		if tr := trace.Get(env); tr != nil {
+			tr.Instant(tr.RIDOf(env.CurrentProc()), "faults", trace.LayerFaults, name, "")
+			tr.Add("faults.injected."+name, 1)
+		}
+	}
+	return d
 }

@@ -21,6 +21,7 @@ package faults_test
 // -stress.seed=<seed> to replay the exact simulation.
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 	"paradice/internal/mem"
 	"paradice/internal/sim"
 	"paradice/internal/supervise"
+	"paradice/internal/trace"
 )
 
 var (
@@ -238,13 +240,21 @@ const (
 	opKinds
 )
 
+// traceCapture, when passed to runOne, runs the whole simulation under the
+// observability layer and receives its exported Chrome trace and metrics
+// dump — the byte strings the determinism invariant compares across replays.
+type traceCapture struct {
+	trace   []byte
+	metrics []byte
+}
+
 // runOne executes one seeded stress simulation and returns nil if every
 // invariant held. With weaken set, the run instead arms the deliberately
 // broken grant check ("grant.validate.skip") plus one scripted evil driver
 // copy — the harness must then DETECT the isolation violation and return an
 // error naming the canary; that self-test is what makes the green runs
 // trustworthy.
-func runOne(seed int64, weaken bool) (retErr error) {
+func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	defer func() {
 		if r := recover(); r != nil {
 			// A sim process panicking anywhere (backend included) is itself
@@ -256,6 +266,21 @@ func runOne(seed int64, weaken bool) (retErr error) {
 	plan := faults.New(seed)
 	rng := plan.Rand()
 	env := sim.NewEnv()
+	if cap != nil {
+		tr := trace.New()
+		trace.Install(env, tr)
+		defer func() {
+			trace.Uninstall(env)
+			var tb, mb bytes.Buffer
+			if err := tr.WriteChrome(&tb); err != nil && retErr == nil {
+				retErr = err
+			}
+			if err := tr.WriteMetrics(&mb); err != nil && retErr == nil {
+				retErr = err
+			}
+			cap.trace, cap.metrics = tb.Bytes(), mb.Bytes()
+		}()
+	}
 
 	// Every 4th seed (or all of them under -stress.supervised) runs with the
 	// driver-VM supervisor armed: deaths the plan injects are then healed
@@ -547,7 +572,7 @@ func runOne(seed int64, weaken bool) (retErr error) {
 // command.
 func TestStressSeeded(t *testing.T) {
 	if *stressSeed >= 0 {
-		if err := runOne(*stressSeed, false); err != nil {
+		if err := runOne(*stressSeed, false, nil); err != nil {
 			t.Fatalf("seed %d: %v", *stressSeed, err)
 		}
 		return
@@ -560,7 +585,7 @@ func TestStressSeeded(t *testing.T) {
 		n = 100
 	}
 	for seed := int64(0); seed < n; seed++ {
-		if err := runOne(seed, false); err != nil {
+		if err := runOne(seed, false, nil); err != nil {
 			t.Fatalf("stress invariant broken at seed %d: %v\nreproduce: go test ./internal/faults -run TestStressSeeded -stress.seed=%d",
 				seed, err, seed)
 		}
@@ -574,7 +599,7 @@ func TestStressDeterministic(t *testing.T) {
 		// runOne uninstalls its plan, so capture activity via a fresh run's
 		// returned state: re-run and compare the error strings and a probe
 		// plan's trace.
-		if err := runOne(7, false); err != nil {
+		if err := runOne(7, false, nil); err != nil {
 			return "err: " + err.Error()
 		}
 		return "ok"
@@ -585,11 +610,44 @@ func TestStressDeterministic(t *testing.T) {
 	}
 }
 
+// TestStressTraceDeterministic replays 50 stress seeds twice each under the
+// observability layer and demands byte-identical exports: the Chrome trace
+// file and the metrics dump are pure functions of (seed, config), exactly
+// like the simulation itself. This is the property that makes a trace file
+// attached to a bug report trustworthy — re-running the printed seed
+// regenerates it bit for bit.
+func TestStressTraceDeterministic(t *testing.T) {
+	n := int64(50)
+	if raceEnabled {
+		n = 10 // each traced run is ~30x slower under the race detector
+	}
+	for seed := int64(0); seed < n; seed++ {
+		run := func() (trc, met []byte) {
+			var c traceCapture
+			if err := runOne(seed, false, &c); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return c.trace, c.metrics
+		}
+		t1, m1 := run()
+		t2, m2 := run()
+		if len(t1) == 0 || len(m1) == 0 {
+			t.Fatalf("seed %d: empty trace (%d bytes) or metrics (%d bytes) export", seed, len(t1), len(m1))
+		}
+		if !bytes.Equal(t1, t2) {
+			t.Fatalf("seed %d: trace file diverged between identical runs (%d vs %d bytes)", seed, len(t1), len(t2))
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Fatalf("seed %d: metrics dump diverged between identical runs:\n--- run 1\n%s\n--- run 2\n%s", seed, m1, m2)
+		}
+	}
+}
+
 // TestHarnessCatchesWeakenedGrantCheck arms the deliberately broken grant
 // check and verifies the harness catches the resulting isolation violation —
 // proof the canary invariant has teeth.
 func TestHarnessCatchesWeakenedGrantCheck(t *testing.T) {
-	err := runOne(4242, true)
+	err := runOne(4242, true, nil)
 	if err == nil {
 		t.Fatal("weakened grant check went undetected: the stress harness has no teeth")
 	}

@@ -14,6 +14,7 @@ import (
 	"paradice/internal/mem"
 	"paradice/internal/perf"
 	"paradice/internal/sim"
+	"paradice/internal/trace"
 )
 
 // VMID identifies a virtual machine.
@@ -130,23 +131,48 @@ func (h *Hypervisor) VMs() []*VM { return h.vms }
 // RegisterISR installs the VM's handler for an interrupt vector.
 func (vm *VM) RegisterISR(vector int, fn func()) { vm.isr[vector] = fn }
 
+// tracer returns the environment's tracer (nil when tracing is off) and the
+// request ID bound to the process currently in hypervisor context, so memory
+// operations and interrupt sends executed on a CVD worker's behalf land on
+// the forwarded request's trace.
+func (h *Hypervisor) tracer() (*trace.Tracer, uint64) {
+	tr := trace.Get(h.Env)
+	if tr == nil {
+		return nil, 0
+	}
+	return tr, tr.RIDOf(h.Env.CurrentProc())
+}
+
 // SendInterrupt raises an inter-VM interrupt into the target VM. The
 // handler runs after the inter-VM interrupt delivery latency; the sender
 // continues immediately (the send itself is a cheap event-channel kick,
 // charged as a hypercall).
 func (h *Hypervisor) SendInterrupt(target *VM, vector int) {
+	tr, rid := h.tracer()
+	start := tr.Now()
 	perf.Charge(h.Env, perf.CostHypercall)
+	tr.Span(rid, "hv", trace.LayerHV, "hypercall", start, tr.Now())
 	fn := target.isr[vector]
 	if fn == nil {
 		return // spurious interrupt: no handler registered
 	}
 	if faults.Point(h.Env, "hv.irq.drop") != nil {
+		tr.Add("hv.irq.dropped", 1)
 		return // injected fault: the interrupt is lost in delivery
+	}
+	if tr != nil {
+		now := tr.Now()
+		tr.Span(rid, target.Name, trace.LayerIRQ, "inter-vm-irq", now, now.Add(perf.CostInterVMIRQ))
+		tr.Add("hv.irq.sent", 1)
 	}
 	h.Env.After(perf.CostInterVMIRQ, fn)
 	if faults.Point(h.Env, "hv.irq.dup") != nil {
 		// Injected fault: the interrupt is delivered twice. ISRs must be
 		// idempotent (re-scanning the ring, re-triggering a fired event).
+		// Traced as an instant, not a second span: the duplicate rides
+		// concurrently with the real delivery and must not double-count in
+		// the request's latency budget.
+		tr.Add("hv.irq.duplicated", 1)
 		h.Env.After(perf.CostInterVMIRQ, fn)
 	}
 }
@@ -158,6 +184,11 @@ func (h *Hypervisor) DeviceInterrupt(target *VM, vector int) {
 	fn := target.isr[vector]
 	if fn == nil {
 		return
+	}
+	if tr, rid := h.tracer(); tr != nil {
+		now := tr.Now()
+		tr.Span(rid, target.Name, trace.LayerIRQ, "device-irq", now, now.Add(perf.CostVMExitIRQ))
+		tr.Add("hv.irq.device", 1)
 	}
 	h.Env.After(perf.CostVMExitIRQ, fn)
 }
@@ -242,6 +273,9 @@ func (h *Hypervisor) assignDevice(vm *VM, dev string, bars []BAR, blanketDMA boo
 // Drivers modified for device data isolation use this for accesses the
 // hypervisor has revoked from the driver VM (§5.3).
 func (h *Hypervisor) Hypercall(fn func()) {
+	tr, rid := h.tracer()
+	start := tr.Now()
 	perf.Charge(h.Env, perf.CostHypercall)
+	tr.Span(rid, "hv", trace.LayerHV, "hypercall", start, tr.Now())
 	fn()
 }

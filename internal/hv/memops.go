@@ -7,6 +7,7 @@ import (
 	"paradice/internal/grant"
 	"paradice/internal/mem"
 	"paradice/internal/perf"
+	"paradice/internal/trace"
 )
 
 // This file implements the hypervisor API for the two kinds of driver
@@ -30,7 +31,11 @@ func (h *Hypervisor) validate(guest *VM, ref uint32, kind grant.Kind, va mem.Gue
 	if err != nil {
 		return nil, err
 	}
+	tr, rid := h.tracer()
+	vstart := tr.Now()
 	perf.Charge(h.Env, perf.CostGrantDeclare)
+	tr.Span(rid, "hv", trace.LayerHV, "grant-validate", vstart, tr.Now())
+	tr.Add("hv.grant.validations", 1)
 	if faults.Point(h.Env, "grant.validate") != nil {
 		// Injected validation failure: behave exactly as if no covering
 		// grant entry existed.
@@ -84,7 +89,14 @@ func (h *Hypervisor) CopyFromGuest(guest *VM, ref uint32, src mem.GuestVirt, buf
 // contiguous in the system physical address space" (§5.2).
 func (h *Hypervisor) copyGuest(guest *VM, pt *mem.PageTable, va mem.GuestVirt, buf []byte, write bool) error {
 	npages := int(mem.PagesSpanned(uint64(va), uint64(len(buf))))
+	tr, rid := h.tracer()
+	cstart := tr.Now()
 	perf.Charge(h.Env, perf.Copy(len(buf), npages))
+	// The copy span covers the per-page guest-page-table walk + EPT walk +
+	// physical transfer of §5.2 — they are one charge in the cost model.
+	tr.Span(rid, "hv", trace.LayerHV, "copy", cstart, tr.Now())
+	tr.Add("hv.copy.ops", 1)
+	tr.Add("hv.copy.bytes", uint64(len(buf)))
 	addr := uint64(va)
 	for len(buf) > 0 {
 		access := mem.PermRead
@@ -144,7 +156,11 @@ func (h *Hypervisor) MapToGuest(guest *VM, ref uint32, va mem.GuestVirt, driver 
 			return fmt.Errorf("hv: page %v belongs to another guest's protected region", pfn)
 		}
 	}
+	tr, rid := h.tracer()
+	mstart := tr.Now()
 	perf.Charge(h.Env, perf.CostMapPage)
+	tr.Span(rid, "hv", trace.LayerHV, "map-page", mstart, tr.Now())
+	tr.Add("hv.map.pages", 1)
 	gpa, err := guest.EPT.FindUnusedRange(mapWindowLo, mapWindowHi, 1)
 	if err != nil {
 		return err
@@ -177,6 +193,10 @@ func (h *Hypervisor) UnmapFromGuest(guest *VM, ref uint32, va mem.GuestVirt) err
 		return fmt.Errorf("hv: no hypervisor mapping at %v to unmap", va)
 	}
 	delete(h.mapped, key)
+	tr, rid := h.tracer()
+	ustart := tr.Now()
 	perf.Charge(h.Env, perf.CostMapPage)
+	tr.Span(rid, "hv", trace.LayerHV, "unmap-page", ustart, tr.Now())
+	tr.Add("hv.unmap.pages", 1)
 	return guest.EPT.Unmap(gpa)
 }

@@ -6,6 +6,7 @@ import (
 	"paradice/internal/faults"
 	"paradice/internal/mem"
 	"paradice/internal/sim"
+	"paradice/internal/trace"
 )
 
 // DMA is a device's path to system memory: every access translates through
@@ -31,15 +32,23 @@ func (d *DMA) Write(bus BusAddr, data []byte) error {
 }
 
 func (d *DMA) access(bus BusAddr, buf []byte, perm mem.Perm) error {
+	tr := trace.Get(d.Env)
+	tr.Add("iommu.dma.ops", 1)
+	tr.Add("iommu.dma.bytes", uint64(len(buf)))
 	if faults.Point(d.Env, "iommu.translate") != nil {
 		// Injected translation fault: the access dies at the IOMMU before
 		// touching physical memory, exactly like an unmapped bus address.
+		tr.Add("iommu.dma.faults", 1)
 		return &DMAFault{Addr: bus, Access: perm}
 	}
 	addr := uint64(bus)
 	for len(buf) > 0 {
 		spa, err := d.Dom.Translate(BusAddr(addr), perm)
 		if err != nil {
+			tr.Add("iommu.dma.faults", 1)
+			if tr != nil {
+				tr.Instant(tr.RIDOf(d.Env.CurrentProc()), "device", trace.LayerDevice, "dma-fault", d.Dom.Name())
+			}
 			return err
 		}
 		n := mem.PageSize - mem.PageOffset(addr)

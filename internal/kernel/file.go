@@ -42,6 +42,10 @@ type FileOps interface {
 type FopCtx struct {
 	Task *Task
 	File *File
+	// RID is the trace request ID opened at the system-call boundary (0 when
+	// tracing is disabled). The CVD frontend carries it through the ring
+	// slot so backend-side spans land on the same request.
+	RID uint64
 }
 
 // Drv returns the driver state registered with the device node.

@@ -21,8 +21,15 @@ type Env struct {
 	procs   []*Proc // all spawned processes, for Deadlocked reporting
 	trap    *ProcPanic
 
-	// Trace, when non-nil, receives a line per scheduling decision.
-	// Intended for debugging deadlocks in tests.
+	// Observer, when non-nil, receives a structured event per scheduling
+	// decision (callback dispatch, process resume) with its virtual
+	// timestamp. internal/trace implements this to fold scheduler activity
+	// into the unified trace; it must read time only, never advance it.
+	Observer SchedObserver
+
+	// Trace, when non-nil, receives a printf-style line per scheduling
+	// decision. This is the legacy debugging hook kept as a compatibility
+	// shim; structured consumers should use Observer instead.
 	Trace func(format string, args ...any)
 
 	// OnProcPanic, when non-nil, is consulted before a trapped process
@@ -33,6 +40,16 @@ type Env struct {
 	// Returning false preserves the default re-panic behavior. The handler
 	// runs in scheduler context and must not block.
 	OnProcPanic func(*ProcPanic) bool
+}
+
+// SchedObserver receives one structured event per scheduling decision. Both
+// methods run in scheduler context and must not block, mutate simulation
+// state, or advance the clock.
+type SchedObserver interface {
+	// SchedCallback fires when a calendar callback is dispatched at time at.
+	SchedCallback(at Time)
+	// SchedResume fires when process proc is handed the token at time at.
+	SchedResume(at Time, proc string)
 }
 
 type yieldKind int
@@ -134,6 +151,9 @@ func (e *Env) RunUntil(limit Time) {
 		e.now = it.at
 		switch {
 		case it.fn != nil:
+			if e.Observer != nil {
+				e.Observer.SchedCallback(e.now)
+			}
 			if e.Trace != nil {
 				e.Trace("t=%v callback", e.now)
 			}
@@ -150,6 +170,9 @@ func (e *Env) RunUntil(limit Time) {
 
 // resume hands control to p and waits for it to yield back.
 func (e *Env) resume(p *Proc) {
+	if e.Observer != nil {
+		e.Observer.SchedResume(e.now, p.name)
+	}
 	if e.Trace != nil {
 		e.Trace("t=%v resume %s", e.now, p.name)
 	}

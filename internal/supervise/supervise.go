@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"paradice/internal/sim"
+	"paradice/internal/trace"
 )
 
 // Channel is one supervised CVD connection (one guest VM × one device
@@ -169,6 +170,14 @@ type Supervisor struct {
 	changes       []Change
 	stopped       bool
 
+	// Recovery-episode tracking for the trace: the open episode begins at the
+	// first StateRestarting transition and closes at the StateHealthy (or
+	// StateDegraded) transition that ends it, emitted as one group span so
+	// paradice-trace shows the whole outage inline with the requests it
+	// failed.
+	episodeOpen  bool
+	episodeStart sim.Time
+
 	// Stats observable by tests and experiments.
 	HeartbeatsSent   uint64
 	HeartbeatsMissed uint64
@@ -248,6 +257,31 @@ func (s *Supervisor) rearmDeath() {
 func (s *Supervisor) setState(st State, reason string) {
 	s.state = st
 	s.changes = append(s.changes, Change{At: s.env.Now(), State: st, Reason: reason, Attempt: s.restarts})
+	tr := trace.Get(s.env)
+	if tr == nil {
+		return
+	}
+	tr.Instant(0, "driver-vm", trace.LayerSupervisor, "state:"+st.String(), reason)
+	tr.Add("supervise.transitions", 1)
+	switch st {
+	case StateRestarting:
+		if !s.episodeOpen {
+			s.episodeOpen, s.episodeStart = true, s.env.Now()
+		}
+	case StateHealthy:
+		if s.episodeOpen {
+			s.episodeOpen = false
+			tr.Group(0, "driver-vm", trace.LayerSupervisor, "recovery", s.episodeStart, s.env.Now())
+			tr.Add("supervise.recoveries", 1)
+			tr.Set("supervise.mttr_ns", uint64(s.MTTR()))
+		}
+	case StateDegraded:
+		if s.episodeOpen {
+			s.episodeOpen = false
+			tr.Group(0, "driver-vm", trace.LayerSupervisor, "outage-degraded", s.episodeStart, s.env.Now())
+		}
+		tr.Add("supervise.degraded", 1)
+	}
 }
 
 // run is the watchdog proc: sleep one heartbeat period (or less, if a death
@@ -301,11 +335,13 @@ func (s *Supervisor) sweep(p *sim.Proc) string {
 			return "backend dead: " + id
 		}
 		s.HeartbeatsSent++
+		trace.Get(s.env).Add("supervise.heartbeats.sent", 1)
 		if ch.Heartbeat(p, s.cfg.HeartbeatTimeout) {
 			s.misses[id] = 0
 			continue
 		}
 		s.HeartbeatsMissed++
+		trace.Get(s.env).Add("supervise.heartbeats.missed", 1)
 		s.misses[id]++
 		if s.misses[id] >= s.cfg.Misses {
 			return fmt.Sprintf("%s missed %d consecutive heartbeats", id, s.misses[id])
@@ -326,6 +362,7 @@ func (s *Supervisor) heal(p *sim.Proc, reason string) {
 		s.setState(StateRestarting, reason)
 		s.restarts++
 		s.Restarts++
+		trace.Get(s.env).Add("supervise.restarts", 1)
 		p.Sleep(backoff)
 		if s.stopped {
 			return

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+
+	"paradice/internal/sim"
+)
+
+// Registry holds the cheap aggregate metrics: counters, gauges, and
+// virtual-time histograms, each keyed by a flat dotted name (layer and
+// device path baked into the name, e.g. "cvd./dev/dri/card0.ops"). All
+// access happens from simulation context, so there is no locking; the dump
+// iterates names in sorted order, so the output is deterministic and
+// byte-identical across runs of the same seed.
+type Registry struct {
+	counters map[string]uint64
+	gauges   map[string]uint64
+	hists    map[string]*Hist
+}
+
+func newRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]uint64),
+		gauges:   make(map[string]uint64),
+		hists:    make(map[string]*Hist),
+	}
+}
+
+// Hist is a log2-bucketed histogram of virtual durations: bucket k counts
+// samples with 2^(k-1) ns <= d < 2^k ns (bucket 0 counts d <= 0). Power-of-
+// two buckets keep the histogram allocation-free after creation and make the
+// dump trivially deterministic.
+type Hist struct {
+	Buckets [64]uint64
+	Count   uint64
+	Sum     sim.Duration
+}
+
+func (h *Hist) observe(d sim.Duration) {
+	k := 0
+	if d > 0 {
+		k = bits.Len64(uint64(d))
+	}
+	h.Buckets[k]++
+	h.Count++
+	h.Sum += d
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (h *Hist) Mean() sim.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / sim.Duration(h.Count)
+}
+
+func (r *Registry) add(name string, n uint64)            { r.counters[name] += n }
+func (r *Registry) set(name string, v uint64)            { r.gauges[name] = v }
+func (r *Registry) observe(name string, d sim.Duration) {
+	h := r.hists[name]
+	if h == nil {
+		h = &Hist{}
+		r.hists[name] = h
+	}
+	h.observe(d)
+}
+
+// Counter returns the current value of a counter (0 if never incremented).
+func (r *Registry) Counter(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[name]
+}
+
+// Gauge returns the current value of a gauge (0 if never set).
+func (r *Registry) Gauge(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.gauges[name]
+}
+
+// Histogram returns the named histogram, or nil.
+func (r *Registry) Histogram(name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	return r.hists[name]
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Dump writes the plain-text metrics dump: counters, gauges, then
+// histograms, each section sorted by name. The format is stable — tests
+// compare dumps byte-for-byte across runs of the same seed.
+func (r *Registry) Dump(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, name := range sortedKeys(r.counters) {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, r.counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", name, r.gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.hists) {
+		h := r.hists[name]
+		if _, err := fmt.Fprintf(w, "hist %s count=%d sum=%dns mean=%dns\n",
+			name, h.Count, int64(h.Sum), int64(h.Mean())); err != nil {
+			return err
+		}
+		for k, c := range h.Buckets {
+			if c == 0 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "hist %s bucket lt=2^%d %d\n", name, k, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

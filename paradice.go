@@ -35,6 +35,7 @@ import (
 	"paradice/internal/perf"
 	"paradice/internal/sim"
 	"paradice/internal/supervise"
+	"paradice/internal/trace"
 )
 
 // Mode selects the CVD transport.
@@ -363,6 +364,31 @@ func (m *Machine) AppKernel() *kernel.Kernel {
 
 // Guests returns the guest VMs added so far.
 func (m *Machine) Guests() []*Guest { return m.guests }
+
+// StartTrace installs a fresh tracer on the machine's environment and
+// returns it. Every layer a request touches — system call, CVD frontend,
+// hypervisor, inter-VM interrupts, CVD backend, driver, device — emits spans
+// and metrics into it from then on; export with trace.WriteChrome /
+// WriteMetrics. Tracing reads the virtual clock but never advances it, so a
+// traced run's timings are bit-identical to an untraced run of the same
+// seed. Call StopTrace when done (tests must, or the tracer registry pins
+// the environment for the process lifetime).
+func (m *Machine) StartTrace() *trace.Tracer {
+	t := trace.New()
+	trace.Install(m.Env, t)
+	return t
+}
+
+// StopTrace detaches the machine's tracer, returning it (nil if none was
+// installed). The returned tracer's events and metrics remain readable.
+func (m *Machine) StopTrace() *trace.Tracer {
+	t := trace.Get(m.Env)
+	trace.Uninstall(m.Env)
+	return t
+}
+
+// Tracer returns the machine's installed tracer, or nil.
+func (m *Machine) Tracer() *trace.Tracer { return trace.Get(m.Env) }
 
 // Run drives the simulation until the event calendar drains.
 func (m *Machine) Run() { m.Env.Run() }
