@@ -232,6 +232,32 @@ func BenchmarkAblationPollWindow(b *testing.B) {
 	})
 }
 
+func BenchmarkBulkTransfer(b *testing.B) {
+	runOnce(b, "bulk", func(b *testing.B, rows []bench.Row) {
+		// The crossover: single-use mappings lose to the assisted copy,
+		// well-reused mappings win.
+		copy16 := value(b, rows, "assisted copy @16K", "R=1")
+		if once := value(b, rows, "map cache @16K", "R=1"); once <= copy16 {
+			b.Fatalf("single-use mapping %.1fµs beat the assisted copy %.1fµs", once, copy16)
+		}
+		if reused := value(b, rows, "map cache @16K", "R=16"); reused >= copy16 {
+			b.Fatalf("R=16 mapping %.1fµs did not beat the assisted copy %.1fµs", reused, copy16)
+		}
+		// At high reuse the win grows with size.
+		smallWin := value(b, rows, "assisted copy", "4K") - value(b, rows, "map cache (R=16)", "4K")
+		bigWin := value(b, rows, "assisted copy", "64K") - value(b, rows, "map cache (R=16)", "64K")
+		if bigWin <= smallWin || bigWin <= 0 {
+			b.Fatalf("map-cache win did not grow with size: 4K %.2fµs, 64K %.2fµs", smallWin, bigWin)
+		}
+		// Coalescing: the 8-post burst shares IRQs instead of one per post.
+		off := value(b, rows, "doorbell IRQs (8-post burst)", "window=0 (off)")
+		on := value(b, rows, "doorbell IRQs (8-post burst)", "window=40.000µs")
+		if on >= off/2 {
+			b.Fatalf("coalescing left %.0f of %.0f doorbell IRQs", on, off)
+		}
+	})
+}
+
 // --- observability overhead: the nil-sink guarantees ---
 
 // The end-to-end no-op latencies of the seed cost model, captured before the
@@ -290,6 +316,64 @@ func TestTracingDisabledLatencyGolden(t *testing.T) {
 			}
 			if last != c.want {
 				t.Fatalf("no-op latency with tracing disabled = %v, pre-instrumentation golden %v", last, c.want)
+			}
+		})
+	}
+}
+
+// TestFastPathDisabledGolden is the analogous guarantee for the bulk-transfer
+// fast path: with the grant-map cache and doorbell coalescing compiled into
+// the CVD layer but switched off — and even with the map cache ON for a
+// workload that never crosses its threshold (ioctls carry no bulk data) —
+// the §6.1.1 no-op latencies must match the pre-fast-path goldens bit for
+// bit. A disabled optimization that shifts the baseline is a cost-model
+// regression.
+func TestFastPathDisabledGolden(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		cfg  paradice.Config
+		want sim.Duration
+	}{
+		{"interrupts-off", paradice.Config{Mode: paradice.Interrupts}, noopGoldenInterrupts},
+		{"polling-off", paradice.Config{Mode: paradice.Polling}, noopGoldenPolling},
+		{"interrupts-mapcache-idle", paradice.Config{Mode: paradice.Interrupts, MapCache: true}, noopGoldenInterrupts},
+		{"polling-mapcache-idle", paradice.Config{Mode: paradice.Polling, MapCache: true}, noopGoldenPolling},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			m, gk := guestKernel(t, c.cfg, paradice.PathGPU)
+			p, err := gk.NewProcess("noop")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var last sim.Duration
+			done := make(chan error, 1)
+			p.SpawnTask("loop", func(tk *kernel.Task) {
+				fd, err := tk.Open(paradice.PathGPU, 2)
+				if err != nil {
+					done <- err
+					return
+				}
+				arg, err := p.Alloc(32)
+				if err != nil {
+					done <- err
+					return
+				}
+				for i := 0; i < 4; i++ {
+					start := tk.Sim().Now()
+					if _, err := tk.Ioctl(fd, drm.IoctlInfo, arg); err != nil {
+						done <- err
+						return
+					}
+					last = tk.Sim().Now().Sub(start)
+				}
+				done <- nil
+			})
+			m.Run()
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			if last != c.want {
+				t.Fatalf("no-op latency = %v with the fast path dormant, golden %v", last, c.want)
 			}
 		})
 	}

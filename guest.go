@@ -76,6 +76,9 @@ func (g *Guest) Paravirtualize(paths ...string) error {
 			Specs: specs, Grants: g.Grants,
 			PollWindow:      g.M.cfg.PollWindow,
 			RequestDeadline: g.M.cfg.RequestDeadline,
+			MapCache:        g.M.cfg.MapCache,
+			MapThreshold:    g.M.cfg.MapThreshold,
+			CoalesceWindow:  g.M.cfg.CoalesceWindow,
 		})
 		if err != nil {
 			return err

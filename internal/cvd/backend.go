@@ -85,6 +85,18 @@ type Backend struct {
 	frontendDoorbell func()
 	// stopped terminates the dispatcher (driver VM restart).
 	stopped bool
+	// epoch is the ring's restart-epoch word (hdrEpoch) as of this backend's
+	// creation. Reconnect bumps the word before attaching a successor, so a
+	// pre-restart backend — its dispatcher, a late handler thread still
+	// holding a slot index, a deferred heartbeat ack — observes the mismatch
+	// and discards instead of touching slots the successor now owns. This is
+	// the ring-visible form of the protection: unlike the stopped flag it
+	// does not depend on anyone having had the chance to stop the old
+	// backend (a wedged-but-alive driver VM never gets stopped).
+	epoch uint32
+	// mapc, when non-nil, is the grant-map cache (the bulk-transfer fast
+	// path); see mapcache.go.
+	mapc *mapCache
 	// onDeath, when set, is invoked once if the backend dies abnormally —
 	// an injected driver-VM crash or an explicit Kill — but NOT on an
 	// orderly Stop. Driver-VM supervision registers here for immediate
@@ -117,14 +129,40 @@ func (b *Backend) SetNotifyGate(fn func() bool) { b.notifyGate = fn }
 
 // remoteConduit implements kernel.RemoteOps for one forwarded file
 // operation, attaching its grant reference to every hypervisor request.
+// For read/write requests carrying reqFlagMapHint, data movement within the
+// request's declared buffer is routed through the backend's grant-map cache
+// instead of a per-access assisted copy; anything else (or any access the
+// hint's buffer does not cover) takes the slow path unchanged.
 type remoteConduit struct {
 	hv    *hv.Hypervisor
 	guest *hv.VM
 	drv   *hv.VM
 	ref   uint32
+
+	// Fast-path routing, set only for hinted read/write requests.
+	mapc    *mapCache
+	mapKind grant.Kind
+	fileID  uint16
+	bufVA   mem.GuestVirt
+	bufLen  uint64
+	rid     uint64
+}
+
+// inBuf reports whether [va, va+n) lies within the hinted request's declared
+// data buffer — the only range the cached mapping may serve.
+func (r *remoteConduit) inBuf(va mem.GuestVirt, n int) bool {
+	return va >= r.bufVA && uint64(va)+uint64(n) <= uint64(r.bufVA)+r.bufLen &&
+		uint64(va)+uint64(n) >= uint64(va)
 }
 
 func (r *remoteConduit) CopyToUser(dst mem.GuestVirt, src []byte) error {
+	if r.mapc != nil && r.mapKind == grant.KindCopyTo && r.inBuf(dst, len(src)) {
+		if err := r.mapc.access(r.rid, r.fileID, r.ref, grant.KindCopyTo,
+			r.bufVA, r.bufLen, dst, src, true); err != nil {
+			return kernel.EFAULT
+		}
+		return nil
+	}
 	if err := r.hv.CopyToGuest(r.guest, r.ref, dst, src); err != nil {
 		return kernel.EFAULT
 	}
@@ -132,6 +170,13 @@ func (r *remoteConduit) CopyToUser(dst mem.GuestVirt, src []byte) error {
 }
 
 func (r *remoteConduit) CopyFromUser(src mem.GuestVirt, buf []byte) error {
+	if r.mapc != nil && r.mapKind == grant.KindCopyFrom && r.inBuf(src, len(buf)) {
+		if err := r.mapc.access(r.rid, r.fileID, r.ref, grant.KindCopyFrom,
+			r.bufVA, r.bufLen, src, buf, false); err != nil {
+			return kernel.EFAULT
+		}
+		return nil
+	}
 	if err := r.hv.CopyFromGuest(r.guest, r.ref, src, buf); err != nil {
 		return kernel.EFAULT
 	}
@@ -179,6 +224,11 @@ func newBackend(h *hv.Hypervisor, driverVM, guestVM *hv.VM, driverK *kernel.Kern
 	// the last acked sequence means a beat posted while the driver VM was
 	// rebooting is answered by the new dispatcher's first pass.
 	b.hbSeen = b.ring.readU32(hdrHbAck)
+	// Snapshot the ring's restart epoch: every write this backend (or one of
+	// its handler threads) ever makes to the ring is conditioned on the word
+	// still holding this value. Reconnect bumps it before attaching a
+	// successor.
+	b.epoch = b.ring.readU32(hdrEpoch)
 	// The driver calling kill_fasync on one of our opened files lands in
 	// our backend process's SIGIO path; relay it to the frontend.
 	proc.OnSIGIO(func() { b.notify(notifSIGIO) })
@@ -196,11 +246,23 @@ func newBackend(h *hv.Hypervisor, driverVM, guestVM *hv.VM, driverK *kernel.Kern
 // device data isolation key their per-guest regions on it.
 func (b *Backend) Proc() *kernel.Process { return b.proc }
 
+// ringCurrent reports whether this backend still owns the ring: it has not
+// been stopped, and the ring's restart-epoch word still holds the value the
+// backend was created under. Every backend-side ring write is conditioned on
+// this — the epoch half catches the interleaving the stopped flag cannot: a
+// pre-restart backend nobody managed to stop (a wedged-but-alive driver VM)
+// whose handler thread wakes up after its slot has been reclaimed and
+// reposted in a new epoch.
+func (b *Backend) ringCurrent() bool {
+	return !b.stopped && b.ring.readU32(hdrEpoch) == b.epoch
+}
+
 // notify posts a notification bit and kicks the frontend, unless the
-// notification gate says this guest should not receive it. A stopped
-// backend is dead — it no longer owns the ring and must not touch it.
+// notification gate says this guest should not receive it. A stopped (or
+// superseded) backend is dead — it no longer owns the ring and must not
+// touch it.
 func (b *Backend) notify(bits uint32) {
-	if b.stopped {
+	if !b.ringCurrent() {
 		return
 	}
 	if b.notifyGate != nil && !b.notifyGate() {
@@ -224,7 +286,7 @@ func (b *Backend) notify(bits uint32) {
 // else.
 func (b *Backend) dispatch(p *sim.Proc) {
 	for {
-		if b.stopped {
+		if !b.ringCurrent() {
 			return
 		}
 		if faults.Point(b.driverK.Env, "cvd.backend.die") != nil {
@@ -298,7 +360,7 @@ func (b *Backend) serviceHeartbeat() {
 	if d := faults.Point(b.driverK.Env, "cvd.heartbeat.delay"); d != nil {
 		delay := sim.Duration(d.Arg)
 		b.hv.Env.After(delay, func() {
-			if b.stopped {
+			if !b.ringCurrent() {
 				return
 			}
 			b.ring.writeU32(hdrHbAck, req)
@@ -322,9 +384,19 @@ func (b *Backend) die() {
 		return
 	}
 	b.stopped = true
+	b.dropMapCache()
 	if fn := b.onDeath; fn != nil {
 		b.onDeath = nil
 		fn()
+	}
+}
+
+// dropMapCache tears down every cached guest-buffer mapping (no-op when the
+// fast path is disabled). Part of backend teardown: a dead driver VM's EPT
+// must not keep windows into guest data buffers.
+func (b *Backend) dropMapCache() {
+	if b.mapc != nil {
+		b.mapc.dropAll()
 	}
 }
 
@@ -383,6 +455,22 @@ func (b *Backend) spawnHandler(req request) {
 		tr.Span(rid, b.driverVM.Name, trace.LayerBE, "dispatch", dstart, tr.Now())
 		task := b.proc.AdoptTask(fmt.Sprintf("op%d", req.seq), sp)
 		conduit := &remoteConduit{hv: b.hv, guest: b.guestVM, drv: b.driverVM, ref: req.ref}
+		if b.mapc != nil && req.flags&reqFlagMapHint != 0 {
+			// The frontend kept this data buffer's grant alive across
+			// requests: route the operation's data movement through the
+			// grant-map cache. Read buffers are written (copy-to-user),
+			// write buffers are read (copy-from-user).
+			switch req.op {
+			case opRead:
+				conduit.mapc, conduit.mapKind = b.mapc, grant.KindCopyTo
+			case opWrite:
+				conduit.mapc, conduit.mapKind = b.mapc, grant.KindCopyFrom
+			}
+			conduit.fileID = req.fileID
+			conduit.bufVA = mem.GuestVirt(req.arg0)
+			conduit.bufLen = req.arg1
+			conduit.rid = rid
+		}
 		restore := task.Mark(conduit)
 		estart := tr.Now()
 		ret, errno := b.execute(task, req)
@@ -393,12 +481,14 @@ func (b *Backend) spawnHandler(req request) {
 		cstart := tr.Now()
 		sp.Advance(perf.CostComplete)
 		tr.Span(rid, b.driverVM.Name, trace.LayerBE, "complete", cstart, tr.Now())
-		if b.stopped {
-			// The backend died (Stop, or an injected driver-VM crash)
-			// while this handler was executing. The ring now belongs to a
-			// successor backend and the frontend has already been failed
-			// with EREMOTE for this slot; a late response here would
-			// corrupt the successor's view of the slot.
+		if !b.ringCurrent() {
+			// The backend died (Stop, an injected driver-VM crash) or was
+			// superseded (the ring's restart epoch moved on) while this
+			// handler was executing. The ring now belongs to a successor
+			// backend and the frontend has already been failed with EREMOTE
+			// for this slot — or the slot has been reclaimed and reposted in
+			// the new epoch; a late response here would corrupt the
+			// successor's view of the slot.
 			return
 		}
 		b.ring.writeResponse(req.slot, ret, int32(errno))
@@ -456,6 +546,10 @@ func (b *Backend) execute(task *kernel.Task, req request) (int32, kernel.Errno) 
 		}
 		delete(b.files, req.fileID)
 		delete(b.vmas, req.fileID)
+		if b.mapc != nil {
+			// The file is going away: its cached buffer mappings with it.
+			b.mapc.release(req.fileID)
+		}
 		return 0, toErrno(ops.Release(&kernel.FopCtx{Task: task, File: f}))
 	}
 	f, ok := b.files[req.fileID]

@@ -43,7 +43,34 @@ type Config struct {
 	// wait forever (the paper's behavior). Driver-VM supervision sets this
 	// so a guest blocked behind a dead backend unblocks on its own.
 	RequestDeadline sim.Duration
+	// MapCache enables the bulk-transfer fast path: read/write data buffers
+	// of at least MapThreshold bytes get long-lived bulk grants, and the
+	// backend maps them into the driver VM once (validated through the grant
+	// table) and reuses the mapping across requests to the same file. Cached
+	// mappings are invalidated deterministically on grant revoke, file
+	// release, reconnect, and driver-VM restart; misusing one faults exactly
+	// as a fresh map would. Off by default — the paper's per-request
+	// assisted-copy behavior.
+	MapCache bool
+	// MapThreshold is the minimum transfer size, in bytes, routed through
+	// the map cache; smaller transfers keep the per-request assisted copy,
+	// which the cost model says wins below ~2 KB at small reuse counts (see
+	// the "Bulk transfer" section of EXPERIMENTS.md). Zero selects
+	// DefaultMapThreshold. Ignored unless MapCache is set.
+	MapThreshold int
+	// CoalesceWindow batches doorbells in interrupt mode: request slots
+	// posted within the window of the first share its inter-VM IRQ — one
+	// CostInterVMIRQ per batch instead of per post — at the price of up to
+	// the window in added latency per request. Zero disables coalescing.
+	// The polling path and watchdog heartbeats are unaffected.
+	CoalesceWindow sim.Duration
 }
+
+// DefaultMapThreshold is the transfer size at which the grant-map cache
+// starts paying off against per-request assisted copies, derived from the
+// cost model (CostMapPage amortization vs CostCopyPerPage/CostCopyPerKB at
+// small reuse counts).
+const DefaultMapThreshold = 2048
 
 // Connect builds a CVD channel: a shared ring page between the guest and
 // driver VMs, interrupt vectors in both directions, the backend dispatcher
@@ -110,6 +137,7 @@ func Connect(cfg Config) (*Frontend, *Backend, error) {
 		pollWQ:       cfg.GuestK.NewWaitQueue("cvd-poll-" + cfg.GuestPath),
 		backend:      be,
 		deadline:     cfg.RequestDeadline,
+		coalesce:     cfg.CoalesceWindow,
 		hbEvent:      cfg.HV.Env.NewEvent("cvd-hb-" + cfg.GuestPath),
 		path:         cfg.GuestPath,
 		vm:           cfg.GuestVM.Name,
@@ -117,6 +145,15 @@ func Connect(cfg Config) (*Frontend, *Backend, error) {
 	}
 	for i := range fe.respEvents {
 		fe.respEvents[i] = cfg.HV.Env.NewEvent(fmt.Sprintf("cvd-resp-%s-%d", cfg.GuestPath, i))
+	}
+	if cfg.MapCache {
+		fe.mapCache = true
+		fe.mapThreshold = cfg.MapThreshold
+		if fe.mapThreshold <= 0 {
+			fe.mapThreshold = DefaultMapThreshold
+		}
+		fe.bulk = make(map[bulkKey]bulkGrant)
+		be.enableMapCache(grants)
 	}
 	be.frontendDoorbell = fe.scanDone
 	cfg.GuestVM.RegisterISR(vecResp, fe.scanDone)

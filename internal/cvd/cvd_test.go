@@ -202,7 +202,7 @@ type rig struct {
 	drv      *testDriver
 }
 
-func newRig(t testing.TB, mode Mode, guestFlavor kernel.Flavor) *rig {
+func newRig(t testing.TB, mode Mode, guestFlavor kernel.Flavor, opts ...func(*Config)) *rig {
 	t.Helper()
 	env := sim.NewEnv()
 	h := hv.New(env, 256<<20)
@@ -231,12 +231,16 @@ func newRig(t testing.TB, mode Mode, guestFlavor kernel.Flavor) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fe, be, err := Connect(Config{
+	cfg := Config{
 		HV: h, GuestVM: guestVM, GuestK: guestK,
 		DriverVM: driverVM, DriverK: driverK,
 		DevicePath: "/dev/testdev", Mode: mode,
 		Specs: map[devfile.IoctlCmd]*ioctlan.CmdSpec{tdNested: spec},
-	})
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	fe, be, err := Connect(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

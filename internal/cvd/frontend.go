@@ -53,6 +53,26 @@ type Frontend struct {
 	// terminal state). Cleared by a successful driver-VM restart.
 	degraded bool
 
+	// Bulk-transfer fast path (grant-map cache). When enabled, read/write
+	// data buffers of at least mapThreshold bytes get a long-lived bulk
+	// grant (one per file and direction) kept alive across requests, and the
+	// requests carry reqFlagMapHint so the backend serves them through its
+	// grant-map cache. bulk tracks the live bulk grants; they are revoked
+	// when the buffer changes and when the file is released — each
+	// revocation tears down the backend's cached mapping in the same
+	// instant (grant.Table.OnRevoke).
+	mapCache     bool
+	mapThreshold int
+	bulk         map[bulkKey]bulkGrant
+
+	// Doorbell coalescing. With coalesce > 0 (interrupt mode only), the
+	// first post of a window arms a flush timer and posts landing before it
+	// fires share the one inter-VM IRQ the flush sends: one CostInterVMIRQ
+	// per batch instead of per post, at the price of up to the window in
+	// added latency. The polling path never comes through here.
+	coalesce  sim.Duration
+	kickArmed bool
+
 	// Heartbeat state (driver-VM supervision): hbSeq is the last posted
 	// heartbeat sequence, hbEvent fires when the backend's ack for it is
 	// observed by the response ISR.
@@ -60,10 +80,12 @@ type Frontend struct {
 	hbEvent *sim.Event
 
 	// Stats for tests and benches.
-	RoundTrips uint64
-	Rejected   uint64 // posts rejected because the queue was full
-	TimedOut   uint64 // requests failed by the per-request deadline
-	FastFailed uint64 // requests refused outright (dead backend / degraded)
+	RoundTrips     uint64
+	Rejected       uint64 // posts rejected because the queue was full
+	TimedOut       uint64 // requests failed by the per-request deadline
+	FastFailed     uint64 // requests refused outright (dead backend / degraded)
+	DoorbellIRQs   uint64 // doorbell inter-VM IRQs actually sent
+	CoalescedKicks uint64 // posts that shared a pending doorbell IRQ
 
 	// path is the guest-visible device path; vm the guest kernel's name.
 	// m holds the per-path metric names, precomputed at Connect so the hot
@@ -129,7 +151,41 @@ func (fe *Frontend) kickBackend(rid uint64) {
 		fe.hv.Env.After(perf.CostPollCross, fe.backend.doorbell.Trigger)
 		return
 	}
+	fe.DoorbellIRQs++
 	fe.hv.SendInterrupt(fe.driverVM, fe.vecToBackend)
+}
+
+// postDoorbell notifies the backend of a newly posted request slot,
+// coalescing doorbells when configured: the first post inside a window arms
+// a flush timer, and every post landing before it fires rides the single
+// inter-VM IRQ the flush sends (one CostInterVMIRQ for the whole batch).
+// The polling path is untouched — a spinning backend observes the page
+// directly, IRQ-free, coalesced or not — and watchdog heartbeats call
+// kickBackend directly so detection latency is never inflated by the
+// batching window.
+func (fe *Frontend) postDoorbell(rid uint64) {
+	if fe.coalesce <= 0 || fe.mode != Interrupts {
+		fe.kickBackend(rid)
+		return
+	}
+	if fe.kickArmed {
+		fe.CoalescedKicks++
+		trace.Get(fe.hv.Env).Add("cvd.doorbell.coalesced", 1)
+		return
+	}
+	fe.kickArmed = true
+	be := fe.backend
+	fe.hv.Env.After(fe.coalesce, func() {
+		fe.kickArmed = false
+		if fe.backend != be || be == nil || be.stopped {
+			// The channel reconnected (or its backend died) inside the
+			// window: the reconnect sweep has already failed everything that
+			// was posted, and the flush must not ring a doorbell it no
+			// longer owns.
+			return
+		}
+		fe.kickBackend(rid)
+	})
 }
 
 // scanDone fires the response event of every completed slot. It runs from
@@ -141,7 +197,7 @@ func (fe *Frontend) scanDone() {
 		if fe.ring.slotState(s) == slotDone {
 			if fe.abandoned[s] {
 				fe.abandoned[s] = false
-				fe.ring.setSlotState(s, slotFree)
+				fe.ring.recycleSlot(s)
 				continue
 			}
 			fe.respEvents[s].Trigger()
@@ -225,14 +281,34 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 	t.Sim().Advance(perf.CostPost)
 	tr.Span(rid, fe.vm, trace.LayerFE, "post", start, tr.Now())
 	fe.ring.writeRequest(slot, r)
-	fe.kickBackend(rid)
+	fe.postDoorbell(rid)
 	answered := true
 	if fe.mode == Polling && fe.window > 0 {
+		// The polled wait is bounded by the request deadline, not just the
+		// window: previously a doomed request spun the whole window with
+		// hdrFrontendPoll raised and only then started the deadline clock,
+		// overshooting the deadline by the window. Bounding the spin keeps
+		// the deadline exact — and the counter is decremented on BOTH exits
+		// of the spin, before any of the timeout returns below, so an
+		// abandoned (ETIMEDOUT) request can never leave the backend
+		// believing a frontend is still spinning.
+		spin := fe.window
+		if fe.deadline > 0 && fe.deadline < spin {
+			spin = fe.deadline
+		}
 		fe.ring.writeU32(hdrFrontendPoll, fe.ring.readU32(hdrFrontendPoll)+1)
-		woken := t.Sim().WaitTimeout(ev, fe.window)
+		woken := t.Sim().WaitTimeout(ev, spin)
 		fe.ring.writeU32(hdrFrontendPoll, fe.ring.readU32(hdrFrontendPoll)-1)
 		if !woken {
-			answered = fe.waitResponse(t, ev)
+			switch {
+			case fe.deadline == 0:
+				t.Sim().Wait(ev)
+			case spin >= fe.deadline:
+				// The spin consumed the whole deadline budget.
+				answered = false
+			default:
+				answered = t.Sim().WaitTimeout(ev, fe.deadline-spin)
+			}
 		}
 	} else {
 		answered = fe.waitResponse(t, ev)
@@ -251,7 +327,7 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 	t.Sim().Advance(perf.CostComplete)
 	tr.Span(rid, fe.vm, trace.LayerFE, "complete", cstart, tr.Now())
 	ret, errno := fe.ring.readResponse(slot)
-	fe.ring.setSlotState(slot, slotFree)
+	fe.ring.recycleSlot(slot)
 	fe.RoundTrips++
 	tr.Observe(fe.m.lat, tr.Now().Sub(start))
 	if (r.op == opRead || r.op == opWrite) && errno == 0 && ret > 0 {
@@ -324,6 +400,69 @@ func (fe *Frontend) declare(c *kernel.FopCtx, ops []grant.Op) (uint32, error) {
 	return fe.grants.Declare(c.Task.Proc.PT.Root(), ops)
 }
 
+// bulkKey identifies one bulk grant: a file's read buffer and write buffer
+// are tracked independently.
+type bulkKey struct {
+	fileID uint16
+	kind   grant.Kind
+}
+
+// bulkGrant is one live long-lived data-buffer grant backing the map cache.
+type bulkGrant struct {
+	va  mem.GuestVirt
+	n   uint64
+	ref uint32
+}
+
+// dataRef produces the grant reference for one read/write data buffer.
+//
+// Slow path (map cache off, or the transfer is under the threshold): declare
+// a one-shot grant; the caller revokes it when the operation returns, and the
+// backend moves the data with a hypervisor-assisted copy.
+//
+// Fast path: reuse (or declare) a bulk grant kept alive across requests and
+// mark the request with reqFlagMapHint, so the backend's grant-map cache can
+// amortize one cross-VM mapping over every request touching the buffer. A
+// changed buffer revokes the old bulk grant first — which also tears down the
+// backend's cached mapping, via grant.Table.OnRevoke, in the same instant.
+func (fe *Frontend) dataRef(c *kernel.FopCtx, fileID uint16, kind grant.Kind,
+	va mem.GuestVirt, n int) (ref uint32, flags uint8, oneshot bool, err error) {
+	if !fe.mapCache || n < fe.mapThreshold {
+		ref, err = fe.declare(c, []grant.Op{{Kind: kind, VA: va, Len: uint64(n)}})
+		return ref, 0, true, err
+	}
+	key := bulkKey{fileID: fileID, kind: kind}
+	if bg, ok := fe.bulk[key]; ok {
+		if va >= bg.va && uint64(va)+uint64(n) <= uint64(bg.va)+bg.n {
+			// The buffer (or a sub-range of it) is already granted: nothing
+			// to declare, nothing to validate per-request — that is the
+			// frontend half of the amortization.
+			return bg.ref, reqFlagMapHint, false, nil
+		}
+		delete(fe.bulk, key)
+		fe.grants.Revoke(bg.ref)
+	}
+	ref, err = fe.declare(c, []grant.Op{{Kind: kind, VA: va, Len: uint64(n)}})
+	if err != nil || ref == 0 {
+		return ref, 0, true, err
+	}
+	fe.bulk[key] = bulkGrant{va: va, n: uint64(n), ref: ref}
+	return ref, reqFlagMapHint, false, nil
+}
+
+// dropBulk revokes the file's bulk grants (file release). Each revocation
+// invalidates the backend's cached mapping through the grant table's
+// OnRevoke subscription.
+func (fe *Frontend) dropBulk(fileID uint16) {
+	for _, kind := range []grant.Kind{grant.KindCopyTo, grant.KindCopyFrom} {
+		key := bulkKey{fileID: fileID, kind: kind}
+		if bg, ok := fe.bulk[key]; ok {
+			delete(fe.bulk, key)
+			fe.grants.Revoke(bg.ref)
+		}
+	}
+}
+
 func errOr[T any](v T, e kernel.Errno) (T, error) {
 	if e != 0 {
 		return v, e
@@ -353,6 +492,9 @@ func (fe *Frontend) Release(c *kernel.FopCtx) error {
 		}
 	}
 	_, errno := fe.roundTrip(c, request{op: opRelease, fileID: id})
+	// The file's bulk grants die with it, whether or not the release made it
+	// across; revoking them tears down the backend's cached mappings.
+	fe.dropBulk(id)
 	return errOrNil(errno)
 }
 
@@ -367,30 +509,40 @@ func errOrNil(e kernel.Errno) error {
 // one legitimate memory operation (§4.1).
 func (fe *Frontend) Read(c *kernel.FopCtx, dst mem.GuestVirt, n int) (int, error) {
 	var ref uint32
+	var flags uint8
+	id := fe.fileID(c)
 	if n > 0 {
+		var oneshot bool
 		var err error
-		ref, err = fe.declare(c, []grant.Op{{Kind: grant.KindCopyTo, VA: dst, Len: uint64(n)}})
+		ref, flags, oneshot, err = fe.dataRef(c, id, grant.KindCopyTo, dst, n)
 		if err != nil {
 			return 0, kernel.ENOMEM
 		}
-		defer fe.grants.Revoke(ref)
+		if oneshot && ref != 0 {
+			defer fe.grants.Revoke(ref)
+		}
 	}
-	ret, errno := fe.roundTrip(c, request{op: opRead, fileID: fe.fileID(c), ref: ref, arg0: uint64(dst), arg1: uint64(n)})
+	ret, errno := fe.roundTrip(c, request{op: opRead, fileID: id, flags: flags, ref: ref, arg0: uint64(dst), arg1: uint64(n)})
 	return errOr(int(ret), errno)
 }
 
 // Write implements kernel.FileOps.
 func (fe *Frontend) Write(c *kernel.FopCtx, src mem.GuestVirt, n int) (int, error) {
 	var ref uint32
+	var flags uint8
+	id := fe.fileID(c)
 	if n > 0 {
+		var oneshot bool
 		var err error
-		ref, err = fe.declare(c, []grant.Op{{Kind: grant.KindCopyFrom, VA: src, Len: uint64(n)}})
+		ref, flags, oneshot, err = fe.dataRef(c, id, grant.KindCopyFrom, src, n)
 		if err != nil {
 			return 0, kernel.ENOMEM
 		}
-		defer fe.grants.Revoke(ref)
+		if oneshot && ref != 0 {
+			defer fe.grants.Revoke(ref)
+		}
 	}
-	ret, errno := fe.roundTrip(c, request{op: opWrite, fileID: fe.fileID(c), ref: ref, arg0: uint64(src), arg1: uint64(n)})
+	ret, errno := fe.roundTrip(c, request{op: opWrite, fileID: id, flags: flags, ref: ref, arg0: uint64(src), arg1: uint64(n)})
 	return errOr(int(ret), errno)
 }
 

@@ -53,6 +53,7 @@ const (
 	hdrNotifBits    = 12 // u32: pending notification bits
 	hdrHbReq        = 16 // u32: watchdog heartbeat sequence (frontend side)
 	hdrHbAck        = 20 // u32: last heartbeat sequence the backend echoed
+	hdrEpoch        = 24 // u32: restart epoch of the backend owning the ring
 	hdrSize         = 96
 
 	slotSize  = 40
@@ -68,6 +69,16 @@ const (
 	sArg1  = 24 // u64
 	sRet   = 32 // i32 (response); u32 arg2 low half in requests
 	sErrno = 36 // i32 (response); u32 trace request ID in requests
+)
+
+// Request flag bits, carried in bits 8..15 of the slot's op word.
+const (
+	// reqFlagMapHint marks a request whose data movement should go through
+	// the backend's grant-map cache: the frontend kept the grant alive
+	// across requests, so a mapping established for it stays valid and
+	// amortizes. Requests without the hint (one-shot grants, ioctls) use the
+	// per-request assisted copy.
+	reqFlagMapHint = 1 << 0
 )
 
 // Notification bits (backend -> frontend).
@@ -121,6 +132,7 @@ func slotOff(slot int) int { return hdrSize + slot*slotSize }
 type request struct {
 	slot   int
 	op     uint8
+	flags  uint8 // reqFlag bits
 	fileID uint16
 	ref    uint32
 	seq    uint32
@@ -132,7 +144,7 @@ type request struct {
 
 func (p page) writeRequest(slot int, r request) {
 	base := slotOff(slot)
-	p.writeU32(base+sOp, uint32(r.op)|uint32(r.fileID)<<16)
+	p.writeU32(base+sOp, uint32(r.op)|uint32(r.flags)<<8|uint32(r.fileID)<<16)
 	p.writeU32(base+sRef, r.ref)
 	p.writeU32(base+sSeq, r.seq)
 	p.writeU64(base+sArg0, r.arg0)
@@ -152,6 +164,7 @@ func (p page) readRequest(slot int) request {
 	return request{
 		slot:   slot,
 		op:     uint8(opFile),
+		flags:  uint8(opFile >> 8),
 		fileID: uint16(opFile >> 16),
 		ref:    p.readU32(base + sRef),
 		seq:    p.readU32(base + sSeq),
@@ -172,6 +185,19 @@ func (p page) writeResponse(slot int, ret int32, errno int32) {
 func (p page) readResponse(slot int) (ret int32, errno int32) {
 	base := slotOff(slot)
 	return int32(p.readU32(base + sRet)), int32(p.readU32(base + sErrno))
+}
+
+// recycleSlot returns a slot to the free pool, scrubbing the response words
+// first. The sErrno word carries the trace request ID in the request
+// direction, so a slot freed WITHOUT a response having overwritten it (an
+// abandoned request reclaimed after a timeout or a reconnect) would
+// otherwise leave a stale RID where the next reader expects an errno. Every
+// path that frees a slot without reading a response must come through here.
+func (p page) recycleSlot(slot int) {
+	base := slotOff(slot)
+	p.writeU32(base+sRet, 0)
+	p.writeU32(base+sErrno, 0)
+	p.writeU32(base+sState, slotFree)
 }
 
 func (p page) slotState(slot int) uint32 { return p.readU32(slotOff(slot) + sState) }

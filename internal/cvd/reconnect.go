@@ -25,6 +25,7 @@ import (
 // Part of driver VM teardown; audited by the faults stress harness.
 func (b *Backend) Stop() {
 	b.stopped = true
+	b.dropMapCache()
 	b.doorbell.Trigger()
 }
 
@@ -44,11 +45,25 @@ func Reconnect(fe *Frontend, h *hv.Hypervisor, driverVM *hv.VM, driverK *kernel.
 	if err != nil {
 		return nil, err
 	}
+	// Enter the next restart epoch BEFORE the successor backend attaches:
+	// the new backend snapshots the bumped word, while anything left of the
+	// old one — a dispatcher that was never stopped because its driver VM
+	// was wedged rather than dead, a handler thread still holding a slot
+	// index — observes the mismatch on its next ring write and discards.
+	// Without this, a late pre-restart handler could complete into a slot
+	// that was reclaimed and reposted in the new epoch.
+	fe.ring.writeU32(hdrEpoch, fe.ring.readU32(hdrEpoch)+1)
 	vecToBackend := driverVM.AllocVector()
 	be, err := newBackend(h, driverVM, fe.guestVM, driverK, node,
 		beGPA, fe.mode, fe.window, vecToBackend, fe.vecResp, fe.vecNotif)
 	if err != nil {
 		return nil, err
+	}
+	if fe.mapCache {
+		// The successor starts with a cold map cache, re-subscribed to the
+		// guest's grant table; the frontend's live bulk grants simply miss
+		// once and re-map against the new driver VM.
+		be.enableMapCache(fe.grants)
 	}
 	be.frontendDoorbell = fe.scanDone
 	fe.driverVM = driverVM
@@ -70,7 +85,12 @@ func (fe *Frontend) failInflight() {
 		st := fe.ring.slotState(s)
 		if fe.abandoned[s] && st != slotFree {
 			fe.abandoned[s] = false
-			fe.ring.setSlotState(s, slotFree)
+			// recycleSlot, not a bare state write: a slot abandoned in
+			// slotPosted/slotRunning still carries the trace request ID in
+			// its sErrno bytes (the request-direction reuse); freeing it
+			// without scrubbing would leave a stale RID where the next
+			// reader of the slot expects an errno.
+			fe.ring.recycleSlot(s)
 			continue
 		}
 		switch st {

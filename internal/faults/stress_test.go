@@ -43,6 +43,7 @@ var (
 	stressSeeds      = flag.Int("stress.seeds", 1000, "number of seeds TestStressSeeded sweeps")
 	stressSeed       = flag.Int64("stress.seed", -1, "replay a single stress seed (reproduction)")
 	stressSupervised = flag.Bool("stress.supervised", false, "run every seed under driver-VM supervision (default: every 4th seed)")
+	stressFastpath   = flag.Bool("stress.fastpath", false, "run every seed with the bulk-transfer fast path armed (default: every 4th seed)")
 )
 
 const (
@@ -288,6 +289,17 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	// Derived from the seed alone so -stress.seed replay stays exact.
 	supervised := !weaken && (*stressSupervised || seed%4 == 3)
 
+	// Every 4th seed (a different residue, so the two features also cross
+	// under the -stress.* flags) arms the bulk-transfer fast path: the
+	// grant-map cache at a threshold low enough that the tiny stress
+	// read/write payloads route through it, plus doorbell coalescing in
+	// interrupt mode. The isolation invariants below (canary, honest errnos,
+	// liveness) must hold with cached mappings and batched doorbells exactly
+	// as they do on the per-request assisted-copy path. The weakened run
+	// stays on the copy path — its point is the evil copy slipping past a
+	// broken grant check, which the map path would obscure.
+	fastpath := !weaken && (*stressFastpath || seed%4 == 1)
+
 	h := hv.New(env, 64<<20)
 	driverVM, err := h.CreateVM("driver", vmRAM)
 	if err != nil {
@@ -327,12 +339,18 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 		// stuck behind a dead backend unblocks with ETIMEDOUT.
 		deadline = 5 * sim.Millisecond
 	}
-	fe, be, err := cvd.Connect(cvd.Config{
+	cfg := cvd.Config{
 		HV: h, GuestVM: guestVM, GuestK: guestK,
 		DriverVM: driverVM, DriverK: driverK,
 		DevicePath: stressPath, Mode: mode,
 		RequestDeadline: deadline,
-	})
+	}
+	if fastpath {
+		cfg.MapCache = true
+		cfg.MapThreshold = 1 // the stress payloads are tiny; force the map path
+		cfg.CoalesceWindow = 20 * sim.Microsecond
+	}
+	fe, be, err := cvd.Connect(cfg)
 	if err != nil {
 		return err
 	}

@@ -112,6 +112,12 @@ func (a *PhysAccessor) WriteAt(off int, b []byte) error {
 type Table struct {
 	acc     Accessor
 	nextRef uint32
+	// onRevoke subscribers run after a reference's slots are zeroed. The
+	// grant-map cache registers here: a mapping established under a revoked
+	// reference must be torn down deterministically, in the same instant the
+	// declaration disappears from the shared page, so a driver VM holding a
+	// stale mapping faults instead of silently reading freed guest memory.
+	onRevoke []func(ref uint32)
 }
 
 // NewTable wraps a zeroed shared page.
@@ -154,8 +160,26 @@ func (t *Table) Declare(ptRoot mem.GuestPhys, ops []Op) (uint32, error) {
 	return ref, nil
 }
 
-// Revoke frees every slot declared under ref.
-func (t *Table) Revoke(ref uint32) error { return revoke(t.acc, ref) }
+// Revoke frees every slot declared under ref and notifies OnRevoke
+// subscribers so cached state keyed on the reference (grant-map cache
+// entries) is invalidated in the same instant.
+func (t *Table) Revoke(ref uint32) error {
+	if err := revoke(t.acc, ref); err != nil {
+		return err
+	}
+	if ref != 0 {
+		for _, fn := range t.onRevoke {
+			fn(ref)
+		}
+	}
+	return nil
+}
+
+// OnRevoke registers fn to run after every successful Revoke, with the
+// revoked reference. Registration order is invocation order (determinism).
+func (t *Table) OnRevoke(fn func(ref uint32)) {
+	t.onRevoke = append(t.onRevoke, fn)
+}
 
 func writeSlot(acc Accessor, slot int, ref uint32, ptRoot mem.GuestPhys, op Op) error {
 	var buf [slotSize]byte

@@ -184,3 +184,48 @@ func TestKindString(t *testing.T) {
 		t.Fatal("Kind.String wrong")
 	}
 }
+
+// OnRevoke subscribers fire after every successful Revoke, in registration
+// order, with the revoked ref — the hook the backend's grant-map cache hangs
+// its invalidation on. A failed Revoke must not notify anyone.
+func TestOnRevokeNotifiesSubscribersInOrder(t *testing.T) {
+	acc := &byteAccessor{}
+	tab := NewTable(acc)
+	var calls []string
+	tab.OnRevoke(func(ref uint32) { calls = append(calls, "a") })
+	tab.OnRevoke(func(ref uint32) { calls = append(calls, "b") })
+	ref1, err := tab.Declare(0x7000, []Op{{Kind: KindCopyTo, VA: 0x1000, Len: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := tab.Declare(0x7000, []Op{{Kind: KindCopyFrom, VA: 0x2000, Len: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []uint32
+	tab.OnRevoke(func(ref uint32) { seen = append(seen, ref) })
+	if err := tab.Revoke(ref1); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 || calls[0] != "a" || calls[1] != "b" {
+		t.Fatalf("subscriber order = %v, want [a b]", calls)
+	}
+	if len(seen) != 1 || seen[0] != ref1 {
+		t.Fatalf("seen = %v, want [%d]", seen, ref1)
+	}
+	// Revoke is idempotent: re-revoking ref1 is a no-op success, and it
+	// re-notifies — subscribers (the map cache) must tolerate refs they no
+	// longer hold state for.
+	if err := tab.Revoke(ref1); err != nil {
+		t.Fatalf("second revoke of ref1: %v", err)
+	}
+	if len(seen) != 2 || seen[1] != ref1 {
+		t.Fatalf("seen = %v after idempotent re-revoke", seen)
+	}
+	if err := tab.Revoke(ref2); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[2] != ref2 {
+		t.Fatalf("seen = %v after revoking ref2", seen)
+	}
+}

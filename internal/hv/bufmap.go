@@ -1,0 +1,240 @@
+package hv
+
+import (
+	"fmt"
+
+	"paradice/internal/faults"
+	"paradice/internal/grant"
+	"paradice/internal/iommu"
+	"paradice/internal/mem"
+	"paradice/internal/perf"
+	"paradice/internal/sim"
+	"paradice/internal/trace"
+)
+
+// This file implements the reverse of memops.go's MapToGuest: mapping a
+// GUEST process buffer into the DRIVER VM, so the backend can satisfy
+// repeated read/write data movement through one established mapping instead
+// of a hypervisor-assisted copy per request (the grant-map cache's
+// substrate). The mapping is validated against the guest's grant table
+// exactly like a copy would be, and its EPT permissions are derived from the
+// grant kind — so a driver VM misusing a cached mapping faults exactly as a
+// fresh map (or a fresh assisted copy) would.
+
+// GuestMapping is one established driver-VM mapping of a guest process
+// buffer. It records the grant authorization it was created under; all data
+// movement through it goes page by page through the driver VM's EPT with
+// the access permission of the attempted operation, so revocation (which
+// destroys the EPT entries) and wrong-direction access (a write through a
+// read-only mapping) fault rather than silently touching guest memory.
+type GuestMapping struct {
+	h      *Hypervisor
+	guest  *VM
+	driver *VM
+
+	// The authorization this mapping was validated under.
+	Ref  uint32
+	Kind grant.Kind
+	VA   mem.GuestVirt // granted byte range (not page-rounded)
+	Len  uint64
+
+	base   mem.GuestPhys // first driver-GPA of the mapped window pages
+	npages int
+	perm   mem.Perm
+	dead   bool
+
+	// dma, when non-nil, is the IOMMU domain the mapping's pages were
+	// added to for direct device DMA (zero-copy receive into guest buffers).
+	dma *iommu.Domain
+}
+
+// mapPerm derives the driver-side EPT permission from the grant kind: a
+// copy-to-user grant authorizes the driver to write the guest buffer (and
+// read it back), a copy-from-user grant authorizes reading only. Any other
+// kind cannot back a data mapping.
+func mapPerm(kind grant.Kind) (mem.Perm, error) {
+	switch kind {
+	case grant.KindCopyTo:
+		return mem.PermRW, nil
+	case grant.KindCopyFrom:
+		return mem.PermRead, nil
+	default:
+		return 0, fmt.Errorf("hv: grant kind %v cannot back a buffer mapping", kind)
+	}
+}
+
+// MapGuestBuffer maps the guest process pages spanning [va, va+n) into the
+// driver VM's map window, validated against the guest's grant table under
+// ref/kind. The walk direction and the resulting EPT permission both come
+// from the kind, so the mapping can never be used for an access the grant
+// would not have allowed as a copy. Charges one CostMapPage per page — the
+// up-front cost the grant-map cache amortizes across requests.
+func (h *Hypervisor) MapGuestBuffer(guest *VM, ref uint32, kind grant.Kind, va mem.GuestVirt, n uint64, driver *VM) (*GuestMapping, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("hv: empty MapGuestBuffer")
+	}
+	if d := faults.Point(h.Env, "hv.map"); d != nil {
+		return nil, d.Error()
+	}
+	perm, err := mapPerm(kind)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := h.validate(guest, ref, kind, va, n)
+	if err != nil {
+		return nil, err
+	}
+	walkAccess := mem.PermRead
+	if kind == grant.KindCopyTo {
+		walkAccess = mem.PermWrite
+	}
+	npages := int(mem.PagesSpanned(uint64(va), n))
+	tr, rid := h.tracer()
+	mstart := tr.Now()
+	perf.Charge(h.Env, sim.Duration(npages)*perf.CostMapPage)
+	tr.Span(rid, "hv", trace.LayerHV, "map-buffer", mstart, tr.Now())
+	tr.Add("hv.map.pages", uint64(npages))
+	base, err := driver.EPT.FindUnusedRange(mapWindowLo, mapWindowHi, npages)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < npages; i++ {
+		pva := mem.GuestVirt(mem.PageBase(uint64(va))) + mem.GuestVirt(i)*mem.PageSize
+		gpa, err := pt.Walk(pva, walkAccess)
+		if err != nil {
+			unmapPages(driver, base, i)
+			return nil, err
+		}
+		spa, err := guest.EPT.Translate(gpa, 0)
+		if err != nil {
+			unmapPages(driver, base, i)
+			return nil, err
+		}
+		if err := driver.EPT.Map(base+mem.GuestPhys(i)*mem.PageSize, mem.SysPhys(mem.PageBase(uint64(spa))), perm); err != nil {
+			unmapPages(driver, base, i)
+			return nil, err
+		}
+	}
+	return &GuestMapping{
+		h: h, guest: guest, driver: driver,
+		Ref: ref, Kind: kind, VA: va, Len: n,
+		base: base, npages: npages, perm: perm,
+	}, nil
+}
+
+func unmapPages(driver *VM, base mem.GuestPhys, n int) {
+	for i := 0; i < n; i++ {
+		_ = driver.EPT.Unmap(base + mem.GuestPhys(i)*mem.PageSize)
+	}
+}
+
+// Covers reports whether the mapping's authorization satisfies an access of
+// kind over [va, va+n) under the same grant reference.
+func (m *GuestMapping) Covers(ref uint32, kind grant.Kind, va mem.GuestVirt, n uint64) bool {
+	return !m.dead && m.Ref == ref && m.Kind == kind &&
+		va >= m.VA && uint64(va)+n <= uint64(m.VA)+m.Len && uint64(va)+n >= uint64(va)
+}
+
+// Dead reports whether the mapping has been torn down.
+func (m *GuestMapping) Dead() bool { return m.dead }
+
+// Copy moves data between buf and the mapped guest buffer at va, page by
+// page through the DRIVER VM's EPT with the access permission of this
+// operation — which is the whole security argument for caching: a revoked
+// mapping has no EPT entries left and faults; a write through a read-only
+// (copy-from-user) mapping violates the EPT permission exactly as a fresh
+// map would.
+func (m *GuestMapping) Copy(va mem.GuestVirt, buf []byte, write bool) error {
+	if m.dead {
+		return fmt.Errorf("hv: access through revoked mapping of %v", m.VA)
+	}
+	if d := faults.Point(m.h.Env, "hv.copy"); d != nil {
+		return d.Error()
+	}
+	if va < mem.GuestVirt(mem.PageBase(uint64(m.VA))) ||
+		uint64(va)+uint64(len(buf)) > mem.PageBase(uint64(m.VA))+uint64(m.npages)*mem.PageSize {
+		return fmt.Errorf("hv: access outside mapping of %v", m.VA)
+	}
+	access := mem.PermRead
+	if write {
+		access = mem.PermWrite
+	}
+	tr, rid := m.h.tracer()
+	cstart := tr.Now()
+	perf.Charge(m.h.Env, perf.MapCopy(len(buf)))
+	tr.Span(rid, "hv", trace.LayerHV, "map-copy", cstart, tr.Now())
+	tr.Add("hv.mapcopy.ops", 1)
+	tr.Add("hv.mapcopy.bytes", uint64(len(buf)))
+	off := uint64(va) - mem.PageBase(uint64(m.VA))
+	for len(buf) > 0 {
+		gpa := m.base + mem.GuestPhys(mem.PageBase(off))
+		spa, err := m.driver.EPT.Translate(gpa, access)
+		if err != nil {
+			return err
+		}
+		n := mem.PageSize - mem.PageOffset(off)
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		if write {
+			err = m.h.Phys.Write(spa+mem.SysPhys(mem.PageOffset(off)), buf[:n])
+		} else {
+			err = m.h.Phys.Read(spa+mem.SysPhys(mem.PageOffset(off)), buf[:n])
+		}
+		if err != nil {
+			return err
+		}
+		off += n
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// EnableDMA registers the mapping's pages in a device's IOMMU domain at bus
+// addresses equal to the driver-GPA window, letting the device DMA directly
+// into (or out of) the guest buffer — the zero-copy endgame of the fast
+// path. Unmap removes the pages again, so a revoked mapping also stops
+// being a DMA target.
+func (m *GuestMapping) EnableDMA(dom *iommu.Domain) error {
+	if m.dead {
+		return fmt.Errorf("hv: EnableDMA on revoked mapping of %v", m.VA)
+	}
+	spas := make([]mem.SysPhys, m.npages)
+	for i := range spas {
+		spa, err := m.driver.EPT.Translate(m.base+mem.GuestPhys(i)*mem.PageSize, 0)
+		if err != nil {
+			return err
+		}
+		spas[i] = spa
+	}
+	if err := dom.GrantPages(iommu.BusAddr(m.base), spas, m.perm); err != nil {
+		return err
+	}
+	m.dma = dom
+	return nil
+}
+
+// DMABase returns the bus address a device should use to reach the start of
+// the mapped (page-aligned) window after EnableDMA.
+func (m *GuestMapping) DMABase() iommu.BusAddr { return iommu.BusAddr(m.base) }
+
+// Unmap destroys the mapping: every driver-EPT entry is removed (subsequent
+// access through the cached mapping faults) and any IOMMU registration is
+// revoked. Idempotent. Charges the same per-page teardown cost as
+// UnmapFromGuest when running in process context.
+func (m *GuestMapping) Unmap() {
+	if m.dead {
+		return
+	}
+	m.dead = true
+	if m.dma != nil {
+		_ = m.dma.RevokePages(iommu.BusAddr(m.base), m.npages)
+		m.dma = nil
+	}
+	tr, rid := m.h.tracer()
+	ustart := tr.Now()
+	perf.Charge(m.h.Env, sim.Duration(m.npages)*perf.CostMapPage)
+	tr.Span(rid, "hv", trace.LayerHV, "unmap-buffer", ustart, tr.Now())
+	tr.Add("hv.unmap.pages", uint64(m.npages))
+	unmapPages(m.driver, m.base, m.npages)
+}

@@ -116,6 +116,37 @@ func (d *Domain) AddPage(region RegionID, bus BusAddr, spa mem.SysPhys, perm mem
 	return nil
 }
 
+// GrantPages installs mappings for a run of contiguous bus pages backed by
+// NON-contiguous system pages — a grant-mapped guest buffer, whose pages
+// come from wherever the guest's allocator put them. The pages land in
+// RegionGlobal so the device can DMA straight into the guest buffer
+// regardless of the active protected region (the buffer's isolation is the
+// grant check, not the region machinery). Installed all-or-nothing.
+func (d *Domain) GrantPages(bus BusAddr, spas []mem.SysPhys, perm mem.Perm) error {
+	for i, spa := range spas {
+		if err := d.AddPage(RegionGlobal, bus+BusAddr(i*mem.PageSize), spa, perm); err != nil {
+			_ = d.RevokePages(bus, i)
+			return err
+		}
+	}
+	return nil
+}
+
+// RevokePages withdraws npages contiguous bus pages installed by
+// GrantPages. Pages already gone are skipped — revocation after a partial
+// install or a region teardown must still succeed.
+func (d *Domain) RevokePages(bus BusAddr, npages int) error {
+	for i := 0; i < npages; i++ {
+		f := frame(bus + BusAddr(i*mem.PageSize))
+		if _, ok := d.regions[RegionGlobal][f]; !ok {
+			continue
+		}
+		delete(d.regions[RegionGlobal], f)
+		delete(d.live, f)
+	}
+	return nil
+}
+
 // RemovePage withdraws a staged mapping (and its live entry, if any).
 func (d *Domain) RemovePage(region RegionID, bus BusAddr) error {
 	r := d.regions[region]

@@ -209,3 +209,100 @@ func TestDMAStopsAtRegionEdge(t *testing.T) {
 		t.Fatalf("err = %v, want DMAFault at the region edge", err)
 	}
 }
+
+// GrantPages installs a contiguous bus run over scattered system pages in
+// RegionGlobal (a grant-mapped guest buffer as a DMA target), all-or-nothing.
+func TestGrantPagesInstallsScatteredBacking(t *testing.T) {
+	phys := mem.NewPhysMem()
+	a := phys.NewAllocator("ram", 0x400000, 16*mem.PageSize)
+	var spas []mem.SysPhys
+	for i := 0; i < 3; i++ {
+		spa, err := a.AllocPages(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spas = append(spas, spa)
+	}
+	d := NewDomain("nic")
+	if err := d.GrantPages(0x80000, spas, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range spas {
+		got, err := d.Translate(0x80000+BusAddr(i*mem.PageSize), mem.PermWrite)
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("page %d translates to %#x, want %#x", i, uint64(got), uint64(want))
+		}
+	}
+	// Granted pages live in RegionGlobal: a region switch does not evict them.
+	if err := d.AddPage(1, 0x10000, spas[0], mem.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Switch(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Translate(0x80000, mem.PermWrite); err != nil {
+		t.Fatalf("granted page evicted by region switch: %v", err)
+	}
+}
+
+// A GrantPages call that collides with an existing mapping mid-run rolls
+// back the pages it already installed — no half-mapped buffer survives.
+func TestGrantPagesRollsBackOnCollision(t *testing.T) {
+	phys := mem.NewPhysMem()
+	a := phys.NewAllocator("ram", 0x400000, 16*mem.PageSize)
+	spa0, _ := a.AllocPages(1)
+	spa1, _ := a.AllocPages(1)
+	spa2, _ := a.AllocPages(1)
+	d := NewDomain("nic")
+	// Pre-occupy the bus frame the third page would land on.
+	if err := d.AddPage(RegionGlobal, 0x80000+2*BusAddr(mem.PageSize), spa2, mem.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	err := d.GrantPages(0x80000, []mem.SysPhys{spa0, spa1, spa2}, mem.PermRW)
+	if err == nil {
+		t.Fatal("colliding GrantPages succeeded")
+	}
+	// The first two pages were rolled back; only the pre-existing mapping
+	// remains.
+	for i := 0; i < 2; i++ {
+		if _, terr := d.Translate(0x80000+BusAddr(i*mem.PageSize), mem.PermRead); terr == nil {
+			t.Fatalf("page %d survived the rollback", i)
+		}
+	}
+	if _, terr := d.Translate(0x80000+2*BusAddr(mem.PageSize), mem.PermRead); terr != nil {
+		t.Fatalf("pre-existing mapping damaged by rollback: %v", terr)
+	}
+}
+
+// RevokePages withdraws a granted run and is idempotent — revoking again, or
+// revoking a range that was only partially installed, still succeeds.
+func TestRevokePagesIdempotent(t *testing.T) {
+	phys := mem.NewPhysMem()
+	a := phys.NewAllocator("ram", 0x400000, 16*mem.PageSize)
+	spa0, _ := a.AllocPages(1)
+	spa1, _ := a.AllocPages(1)
+	d := NewDomain("nic")
+	if err := d.GrantPages(0x80000, []mem.SysPhys{spa0, spa1}, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RevokePages(0x80000, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		var f *DMAFault
+		_, err := d.Translate(0x80000+BusAddr(i*mem.PageSize), mem.PermRead)
+		if !errors.As(err, &f) {
+			t.Fatalf("page %d: err = %v, want DMAFault after revoke", i, err)
+		}
+	}
+	if err := d.RevokePages(0x80000, 2); err != nil {
+		t.Fatal("second revoke of the same run failed")
+	}
+	// Over-length revoke (covers pages never granted) also succeeds.
+	if err := d.RevokePages(0x80000, 8); err != nil {
+		t.Fatal("revoke past the granted run failed")
+	}
+}

@@ -69,6 +69,24 @@ const (
 	// EPT, walk and fix the guest page table's last level.
 	CostMapPage = 2 * sim.Microsecond
 
+	// CostMapCacheHit is the backend's cost to find and authorize one cached
+	// grant mapping (a lookup plus the ref/kind/range check) before moving
+	// data through it — the amortized replacement for a full grant validation
+	// plus per-page walks on every request.
+	CostMapCacheHit = 250 * sim.Nanosecond
+
+	// CostMapMemcpyPerKB is the per-kilobyte cost of moving data through an
+	// already-established cross-VM mapping: a plain memcpy with no guest
+	// page-table or EPT software walks in the loop (~6.7 GB/s, vs the
+	// assisted copy's 3.3 GB/s effective bandwidth). Together with
+	// CostMapPage — charged per page at BOTH establishment and teardown —
+	// this produces the copy-vs-map crossover of the "Bulk transfer" section
+	// in EXPERIMENTS.md: because the per-operation saving is itself roughly
+	// per-page, the rotation overhead amortizes away near a fixed reuse rate
+	// (~5 operations per mapping) at any size, and beyond it the cached
+	// mapping wins by a margin that grows with transfer size.
+	CostMapMemcpyPerKB = 150 * sim.Nanosecond
+
 	// CostPageFault is the guest-side cost of taking a page fault and
 	// entering the fault handler.
 	CostPageFault = 1 * sim.Microsecond
@@ -112,6 +130,13 @@ const (
 // bytes spanning the given number of pages.
 func Copy(nbytes, npages int) sim.Duration {
 	return sim.Duration(npages)*CostCopyPerPage + sim.Duration(nbytes)*CostCopyPerKB/1024
+}
+
+// MapCopy returns the duration of moving nbytes through an established
+// grant mapping (no per-page walks; the mapping setup was charged once at
+// CostMapPage per page when the cache entry was created).
+func MapCopy(nbytes int) sim.Duration {
+	return sim.Duration(nbytes) * CostMapMemcpyPerKB / 1024
 }
 
 // Charge advances simulated time by d if running in process context.

@@ -124,6 +124,20 @@ type Config struct {
 	// and this is zero, a default of 50 ms is applied so detection by
 	// timeout is never slower than detection by watchdog.
 	RequestDeadline sim.Duration
+	// MapCache enables the CVD bulk-transfer fast path: large read/write
+	// buffers are granted once per file and mapped into the driver VM by the
+	// backend, so repeated transfers to the same file skip the per-request
+	// hypervisor-assisted copy. Off by default (the paper's §4.1 behavior);
+	// the "bulk" experiment measures the crossover.
+	MapCache bool
+	// MapThreshold is the minimum transfer size in bytes routed through the
+	// map cache; zero selects cvd.DefaultMapThreshold (2 KB, from the cost
+	// model). Ignored unless MapCache is set.
+	MapThreshold int
+	// CoalesceWindow batches CVD doorbells in interrupt mode: slots posted
+	// within the window of the first share one inter-VM IRQ. Zero disables
+	// coalescing. Polling mode and watchdog heartbeats are unaffected.
+	CoalesceWindow sim.Duration
 }
 
 func (c Config) withDefaults() Config {
