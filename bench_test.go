@@ -10,6 +10,7 @@ package paradice_test
 // deterministic, so a single iteration is already the converged value.
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -17,6 +18,7 @@ import (
 	"paradice/internal/bench"
 	"paradice/internal/driver/drm"
 	"paradice/internal/kernel"
+	"paradice/internal/perf"
 	"paradice/internal/sim"
 	"paradice/internal/trace"
 )
@@ -258,6 +260,56 @@ func BenchmarkBulkTransfer(b *testing.B) {
 	})
 }
 
+func BenchmarkWalkcache(b *testing.B) {
+	runOnce(b, "walkcache", func(b *testing.B, rows []bench.Row) {
+		// The acceptance bar: warm small operations (≤2 KB, the assisted-copy
+		// regime) are at least 15% faster than per-request walks.
+		for _, size := range bench.WalkSizes {
+			x := sizeLabel(size)
+			cold := value(b, rows, "per-request walks", x)
+			warm := value(b, rows, "translation cache", x)
+			if warm > 0.85*cold {
+				b.Fatalf("warm %s op %.3fµs not >=15%% under cold %.3fµs", x, warm, cold)
+			}
+		}
+		// The steady-state TLB hit rate is high: one miss to prove the page,
+		// hits thereafter.
+		if rate := rowValue(b, rows, "TLB hit rate (1K echo)"); rate < 75 {
+			b.Fatalf("steady-state TLB hit rate %.1f%%, want >= 75%%", rate)
+		}
+		// Batched grant hypercalls: the 8-chunk scatter-gather declare takes
+		// at most 2 crossings instead of one per entry.
+		perEntry := value(b, rows, "grant crossings (8-chunk CS)", "per-entry")
+		batched := value(b, rows, "grant crossings (8-chunk CS)", "batched")
+		if perEntry < 8 {
+			b.Fatalf("per-entry 8-chunk declare took %.0f crossings, expected >= 8", perEntry)
+		}
+		if batched > 2 {
+			b.Fatalf("batched 8-chunk declare took %.0f crossings, want <= 2", batched)
+		}
+	})
+}
+
+// rowValue finds a row by series alone (single-valued series).
+func rowValue(b *testing.B, rows []bench.Row, series string) float64 {
+	b.Helper()
+	for _, r := range rows {
+		if r.Series == series {
+			return r.Value
+		}
+	}
+	b.Fatalf("no row for series %q", series)
+	return 0
+}
+
+// sizeLabel mirrors the bench package's sweep labels.
+func sizeLabel(n int) string {
+	if n >= 1024 {
+		return fmt.Sprintf("%dK", n/1024)
+	}
+	return fmt.Sprintf("%dB", n)
+}
+
 // --- observability overhead: the nil-sink guarantees ---
 
 // The end-to-end no-op latencies of the seed cost model, captured before the
@@ -338,6 +390,11 @@ func TestFastPathDisabledGolden(t *testing.T) {
 		{"polling-off", paradice.Config{Mode: paradice.Polling}, noopGoldenPolling},
 		{"interrupts-mapcache-idle", paradice.Config{Mode: paradice.Interrupts, MapCache: true}, noopGoldenInterrupts},
 		{"polling-mapcache-idle", paradice.Config{Mode: paradice.Polling, MapCache: true}, noopGoldenPolling},
+		// Walkcache compiled in but explicitly off, alongside every other
+		// fast-path knob: the TLB and grant-batch fields must be inert when
+		// false even with the rest of the fast path armed-but-idle.
+		{"interrupts-walkcache-off", paradice.Config{Mode: paradice.Interrupts, MapCache: true, TLB: false, GrantBatch: false}, noopGoldenInterrupts},
+		{"polling-walkcache-off", paradice.Config{Mode: paradice.Polling, MapCache: true, TLB: false, GrantBatch: false}, noopGoldenPolling},
 	} {
 		t.Run(c.name, func(t *testing.T) {
 			m, gk := guestKernel(t, c.cfg, paradice.PathGPU)
@@ -374,6 +431,72 @@ func TestFastPathDisabledGolden(t *testing.T) {
 			}
 			if last != c.want {
 				t.Fatalf("no-op latency = %v with the fast path dormant, golden %v", last, c.want)
+			}
+		})
+	}
+}
+
+// TestWalkcacheArmedGolden pins the armed translation-cache behavior to the
+// cost model exactly. With TLB+GrantBatch on, the §6.1.1 no-op changes in
+// two precisely predictable ways: every validation after the frontend's
+// declare is a grant-cache hit (CostTLBHit instead of the CostGrantDeclare
+// shared-page scan — from the FIRST operation, because the declare itself
+// primes the cache), and every copy page after the first operation is a TLB
+// hit (CostTLBHit instead of the CostCopyPerPage walk). Nothing else moves.
+func TestWalkcacheArmedGolden(t *testing.T) {
+	validateSaving := perf.CostGrantDeclare - perf.CostTLBHit
+	walkSaving := perf.CostCopyPerPage - perf.CostTLBHit
+	for _, c := range []struct {
+		name   string
+		mode   paradice.Mode
+		golden sim.Duration
+	}{
+		{"interrupts", paradice.Interrupts, noopGoldenInterrupts},
+		{"polling", paradice.Polling, noopGoldenPolling},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := paradice.Config{Mode: c.mode, TLB: true, GrantBatch: true}
+			m, gk := guestKernel(t, cfg, paradice.PathGPU)
+			p, err := gk.NewProcess("noop")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var first, last sim.Duration
+			done := make(chan error, 1)
+			p.SpawnTask("loop", func(tk *kernel.Task) {
+				fd, err := tk.Open(paradice.PathGPU, 2)
+				if err != nil {
+					done <- err
+					return
+				}
+				arg, err := p.Alloc(32)
+				if err != nil {
+					done <- err
+					return
+				}
+				for i := 0; i < 4; i++ {
+					start := tk.Sim().Now()
+					if _, err := tk.Ioctl(fd, drm.IoctlInfo, arg); err != nil {
+						done <- err
+						return
+					}
+					d := tk.Sim().Now().Sub(start)
+					if i == 0 {
+						first = d
+					}
+					last = d
+				}
+				done <- nil
+			})
+			m.Run()
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			if want := c.golden - validateSaving; first != want {
+				t.Fatalf("first armed no-op = %v, want golden-%v = %v", first, validateSaving, want)
+			}
+			if want := c.golden - validateSaving - walkSaving; last != want {
+				t.Fatalf("warm armed no-op = %v, want golden-%v = %v", last, validateSaving+walkSaving, want)
 			}
 		})
 	}

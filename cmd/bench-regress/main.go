@@ -1,0 +1,123 @@
+// Command bench-regress guards the perf trajectory: it compares a fresh
+// `paradice-bench -json` run against the committed baseline
+// (BENCH_5.json) and fails when a guarded latency row regressed by more
+// than the allowed drift.
+//
+// Guarded rows are the ones the paper's evaluation hangs on: the §6.1.1
+// no-op forwarding latencies (both transports) and the Figure 5 order-500
+// matrix-multiplication times (every series). All guarded rows are
+// "lower is better"; only upward drift fails the check. The simulation is
+// deterministic, so the expected drift is exactly zero — the 10% allowance
+// exists so an intentional cost-model recalibration shows up as a reviewed
+// baseline update, not a red herring.
+//
+// Usage:
+//
+//	paradice-bench -json -exp noop,fig5 > current.json
+//	bench-regress -baseline BENCH_5.json -current current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type row struct {
+	Series string
+	X      string
+	Value  float64
+	Unit   string
+}
+
+type result struct {
+	ID    string `json:"id"`
+	Rows  []row  `json:"rows"`
+	Error string `json:"error"`
+}
+
+// guarded reports whether a row participates in the regression gate.
+func guarded(id string, r row) bool {
+	switch id {
+	case "noop":
+		return r.X == "no-op fileop"
+	case "fig5":
+		return r.X == "order=500"
+	}
+	return false
+}
+
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results []result
+	if err := json.Unmarshal(data, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	vals := make(map[string]float64)
+	for _, res := range results {
+		if res.Error != "" {
+			return nil, fmt.Errorf("%s: experiment %s errored: %s", path, res.ID, res.Error)
+		}
+		for _, r := range res.Rows {
+			if guarded(res.ID, r) {
+				vals[res.ID+"/"+r.Series+"/"+r.X] = r.Value
+			}
+		}
+	}
+	return vals, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_5.json", "committed baseline JSON")
+	current := flag.String("current", "", "fresh paradice-bench -json output")
+	maxDrift := flag.Float64("max-drift", 10, "allowed upward drift in percent")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "bench-regress: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-regress:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-regress:", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 {
+		fmt.Fprintln(os.Stderr, "bench-regress: baseline has no guarded rows")
+		os.Exit(2)
+	}
+
+	var failures []string
+	for key, want := range base {
+		got, ok := cur[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%-40s missing from current run", key))
+			continue
+		}
+		drift := 100 * (got - want) / want
+		status := "ok"
+		if drift > *maxDrift {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%-40s %.3f -> %.3f (%+.1f%% > %.0f%%)",
+				key, want, got, drift, *maxDrift))
+		}
+		fmt.Printf("  %-40s baseline %12.3f  current %12.3f  %+7.1f%%  %s\n",
+			key, want, got, drift, status)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbench-regress: %d guarded row(s) regressed beyond %.0f%%:\n  %s\n",
+			len(failures), *maxDrift, strings.Join(failures, "\n  "))
+		os.Exit(1)
+	}
+	fmt.Printf("bench-regress: %d guarded rows within %.0f%% of %s\n", len(base), *maxDrift, *baseline)
+}

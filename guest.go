@@ -79,6 +79,8 @@ func (g *Guest) Paravirtualize(paths ...string) error {
 			MapCache:        g.M.cfg.MapCache,
 			MapThreshold:    g.M.cfg.MapThreshold,
 			CoalesceWindow:  g.M.cfg.CoalesceWindow,
+			TLB:             g.M.cfg.TLB,
+			GrantBatch:      g.M.cfg.GrantBatch,
 		})
 		if err != nil {
 			return err

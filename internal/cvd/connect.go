@@ -64,6 +64,20 @@ type Config struct {
 	// the window in added latency per request. Zero disables coalescing.
 	// The polling path and watchdog heartbeats are unaffected.
 	CoalesceWindow sim.Duration
+	// TLB arms the hypervisor's software TLB (internal/hv/tlb.go): per-VM
+	// caches of guest-VA→system-PA translations consulted by the assisted
+	// copy and buffer-mapping paths before the full two-level walk of §5.2,
+	// invalidated deterministically on page-table edits, EPT changes, grant
+	// revocation, and driver-VM restart. Off by default — every operation
+	// pays full per-page walks, byte-identical to the seed.
+	TLB bool
+	// GrantBatch batches grant hypercalls: the frontend declares a file
+	// operation's whole grant vector in one hypervisor crossing (the first
+	// entry costs CostGrantDeclare, each further entry CostGrantEntry), and
+	// the hypervisor's grant-validation cache primed by that crossing lets
+	// the backend's memory operations validate against the cached vector at
+	// CostTLBHit instead of re-scanning the shared page. Off by default.
+	GrantBatch bool
 }
 
 // DefaultMapThreshold is the transfer size at which the grant-map cache
@@ -106,6 +120,14 @@ func Connect(cfg Config) (*Frontend, *Backend, error) {
 		}
 		grants = grant.NewTable(&grant.GuestAccessor{Space: cfg.GuestVM.Space, GPA: grantGPA})
 	}
+	if cfg.TLB {
+		cfg.HV.EnableTLB()
+	}
+	if cfg.GrantBatch {
+		// Idempotent per (VM, table): guests that paravirtualize several
+		// devices share one table and subscribe once.
+		cfg.HV.EnableGrantCache(cfg.GuestVM, grants)
+	}
 
 	vecToBackend := cfg.DriverVM.AllocVector()
 	vecResp := cfg.GuestVM.AllocVector()
@@ -138,6 +160,7 @@ func Connect(cfg Config) (*Frontend, *Backend, error) {
 		backend:      be,
 		deadline:     cfg.RequestDeadline,
 		coalesce:     cfg.CoalesceWindow,
+		grantBatch:   cfg.GrantBatch,
 		hbEvent:      cfg.HV.Env.NewEvent("cvd-hb-" + cfg.GuestPath),
 		path:         cfg.GuestPath,
 		vm:           cfg.GuestVM.Name,

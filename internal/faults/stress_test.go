@@ -44,6 +44,7 @@ var (
 	stressSeed       = flag.Int64("stress.seed", -1, "replay a single stress seed (reproduction)")
 	stressSupervised = flag.Bool("stress.supervised", false, "run every seed under driver-VM supervision (default: every 4th seed)")
 	stressFastpath   = flag.Bool("stress.fastpath", false, "run every seed with the bulk-transfer fast path armed (default: every 4th seed)")
+	stressWalkcache  = flag.Bool("stress.walkcache", false, "run every seed with the software TLB and batched grant hypercalls armed (default: every 4th seed)")
 )
 
 const (
@@ -300,6 +301,14 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	// broken grant check, which the map path would obscure.
 	fastpath := !weaken && (*stressFastpath || seed%4 == 1)
 
+	// A third residue arms the translation caches: the hypervisor's software
+	// TLB plus batched grant hypercalls. Injected faults land on warm caches
+	// here — a denied validation, a dropped copy, or a mid-burst driver death
+	// must behave identically whether the translation was walked or cached,
+	// and the canary stays untouchable either way. The weakened run again
+	// stays dormant so the broken-check canary signal is unobscured.
+	walkcache := !weaken && (*stressWalkcache || seed%4 == 2)
+
 	h := hv.New(env, 64<<20)
 	driverVM, err := h.CreateVM("driver", vmRAM)
 	if err != nil {
@@ -349,6 +358,10 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 		cfg.MapCache = true
 		cfg.MapThreshold = 1 // the stress payloads are tiny; force the map path
 		cfg.CoalesceWindow = 20 * sim.Microsecond
+	}
+	if walkcache {
+		cfg.TLB = true
+		cfg.GrantBatch = true
 	}
 	fe, be, err := cvd.Connect(cfg)
 	if err != nil {

@@ -118,6 +118,12 @@ type Table struct {
 	// declaration disappears from the shared page, so a driver VM holding a
 	// stale mapping faults instead of silently reading freed guest memory.
 	onRevoke []func(ref uint32)
+	// onDeclare subscribers run after a declaration's slots are all written —
+	// never on the rolled-back table-full path, whose partial slots are gone
+	// by the time Declare returns. The hypervisor's grant-validation cache
+	// (Config.GrantBatch) primes itself here, modeling the batched hypercall
+	// that hands the hypervisor the whole entry vector in one crossing.
+	onDeclare []func(ref uint32, ptRoot mem.GuestPhys, ops []Op)
 }
 
 // NewTable wraps a zeroed shared page.
@@ -157,6 +163,9 @@ func (t *Table) Declare(ptRoot mem.GuestPhys, ops []Op) (uint32, error) {
 		_ = revoke(t.acc, ref)
 		return 0, fmt.Errorf("grant: table full (%d slots)", slotCount)
 	}
+	for _, fn := range t.onDeclare {
+		fn(ref, ptRoot, ops)
+	}
 	return ref, nil
 }
 
@@ -179,6 +188,14 @@ func (t *Table) Revoke(ref uint32) error {
 // revoked reference. Registration order is invocation order (determinism).
 func (t *Table) OnRevoke(fn func(ref uint32)) {
 	t.onRevoke = append(t.onRevoke, fn)
+}
+
+// OnDeclare registers fn to run after every fully successful Declare, with
+// the fresh reference, the issuing process's page-table root, and the
+// declared operation vector. Registration order is invocation order. The
+// callback must not retain ops past its return without copying.
+func (t *Table) OnDeclare(fn func(ref uint32, ptRoot mem.GuestPhys, ops []Op)) {
+	t.onDeclare = append(t.onDeclare, fn)
 }
 
 func writeSlot(acc Accessor, slot int, ref uint32, ptRoot mem.GuestPhys, op Op) error {

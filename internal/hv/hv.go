@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"paradice/internal/faults"
+	"paradice/internal/grant"
 	"paradice/internal/iommu"
 	"paradice/internal/mem"
 	"paradice/internal/perf"
@@ -37,6 +38,10 @@ type Hypervisor struct {
 	regions    map[iommu.RegionID]*Region
 	nextRegion iommu.RegionID
 	protPages  map[uint64]iommu.RegionID // SPA frame -> owning region
+
+	// tlbEnabled arms the software TLB (tlb.go) on every existing and
+	// future VM.
+	tlbEnabled bool
 }
 
 type mapKey struct {
@@ -60,6 +65,13 @@ type VM struct {
 	grantSPA mem.SysPhys // registered grant-table page (0 = none)
 	barNext  mem.GuestPhys
 	nextVec  int
+
+	// Software TLB and grant-validation cache (tlb.go); nil until armed via
+	// EnableTLB / EnableGrantCache, and every consult is nil-gated, so the
+	// dormant paths stay byte-identical to the seed.
+	tlb         *vmTLB
+	grantCache  *grantCache
+	grantTables map[*grant.Table]bool // tables already subscribed (idempotence)
 }
 
 // AllocVector reserves a fresh interrupt vector on this VM.
@@ -122,6 +134,9 @@ func (h *Hypervisor) CreateVM(name string, ram uint64) (*VM, error) {
 		barNext: barWindow,
 	}
 	h.vms = append(h.vms, vm)
+	if h.tlbEnabled {
+		h.armTLB(vm)
+	}
 	return vm, nil
 }
 

@@ -1,0 +1,393 @@
+package hv
+
+import (
+	"bytes"
+	"testing"
+
+	"paradice/internal/grant"
+	"paradice/internal/mem"
+	"paradice/internal/perf"
+	"paradice/internal/sim"
+)
+
+// timeOp runs fn in simulation process context and returns the virtual time
+// it charged.
+func timeOp(env *sim.Env, fn func()) sim.Duration {
+	var d sim.Duration
+	env.RunFunc("op", func(p *sim.Proc) {
+		start := env.Now()
+		fn()
+		d = env.Now().Sub(start)
+	})
+	return d
+}
+
+// threePageRig maps three user pages and declares copy grants both ways over
+// all of them.
+func threePageRig(t *testing.T, h *Hypervisor) (*guestRig, mem.GuestVirt, uint32) {
+	t.Helper()
+	g := newGuestRig(t, h, "guest")
+	va := mem.GuestVirt(0x40000000)
+	for i := 0; i < 3; i++ {
+		g.mapUserPage(t, va+mem.GuestVirt(i)*mem.PageSize)
+	}
+	ref, err := g.grants.Declare(g.pt.Root(), []grant.Op{
+		{Kind: grant.KindCopyTo, VA: va, Len: 3 * mem.PageSize},
+		{Kind: grant.KindCopyFrom, VA: va, Len: 3 * mem.PageSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, va, ref
+}
+
+// A cold armed copy must charge exactly what the dormant path charges: the
+// TLB never makes a first touch cheaper, it only amortizes reuse.
+func TestTLBColdCopyChargesMatchDormant(t *testing.T) {
+	const n = 2*mem.PageSize + 512 // spans 3 pages
+	run := func(tlb bool) sim.Duration {
+		env := sim.NewEnv()
+		h := New(env, 64<<20)
+		if tlb {
+			h.EnableTLB()
+		}
+		g, va, ref := threePageRig(t, h)
+		return timeOp(env, func() {
+			if err := h.CopyToGuest(g.vm, ref, va, make([]byte, n)); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	dormant, cold := run(false), run(true)
+	if dormant != cold {
+		t.Fatalf("cold armed copy charged %v, dormant charged %v", cold, dormant)
+	}
+	want := perf.CostGrantDeclare + perf.Copy(n, 3)
+	if dormant != want {
+		t.Fatalf("dormant copy charged %v, want %v", dormant, want)
+	}
+}
+
+// A warm copy replaces each page's walk share with CostTLBHit; the grant
+// validation and the per-byte memcpy share are unchanged.
+func TestTLBWarmCopyChargesHitCost(t *testing.T) {
+	const n = 2*mem.PageSize + 512
+	env := sim.NewEnv()
+	h := New(env, 64<<20)
+	h.EnableTLB()
+	g, va, ref := threePageRig(t, h)
+	buf := make([]byte, n)
+	timeOp(env, func() {
+		if err := h.CopyToGuest(g.vm, ref, va, buf); err != nil {
+			t.Error(err)
+		}
+	})
+	warm := timeOp(env, func() {
+		if err := h.CopyToGuest(g.vm, ref, va, buf); err != nil {
+			t.Error(err)
+		}
+	})
+	want := perf.CostGrantDeclare + 3*perf.CostTLBHit + sim.Duration(n)*perf.CostCopyPerKB/1024
+	if warm != want {
+		t.Fatalf("warm copy charged %v, want %v", warm, want)
+	}
+	if warm >= perf.CostGrantDeclare+perf.Copy(n, 3) {
+		t.Fatalf("warm copy (%v) not cheaper than cold (%v)", warm, perf.CostGrantDeclare+perf.Copy(n, 3))
+	}
+}
+
+// Hostile: the guest unmaps, then remaps, a page whose translation is warm
+// in the TLB. The next copy must fault through the cache (unmapped) and then
+// observe the NEW frame (remapped) — never the stale translation.
+func TestTLBRemapWhileCachedFaultsThroughCache(t *testing.T) {
+	env := sim.NewEnv()
+	h := New(env, 64<<20)
+	h.EnableTLB()
+	g, va, ref := threePageRig(t, h)
+	buf := make([]byte, 16)
+	if err := h.CopyToGuest(g.vm, ref, va, []byte("original frame A")); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := g.vm.tlb.lookup(g.pt.Root(), va, mem.PermWrite); !hit {
+		t.Fatal("translation not cached after copy")
+	}
+
+	// Unmap: the PT-edit hook must invalidate in the same instant.
+	if err := g.pt.Unmap(va); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := g.vm.tlb.lookup(g.pt.Root(), va, mem.PermRead); hit {
+		t.Fatal("stale translation survived Unmap")
+	}
+	if err := h.CopyFromGuest(g.vm, ref, va, buf); err == nil {
+		t.Fatal("copy through unmapped page succeeded — stale TLB entry served")
+	}
+
+	// Remap the same VA to a DIFFERENT frame holding different bytes.
+	newGPA := g.next
+	g.next += mem.PageSize
+	if err := g.vm.Space.Write(newGPA, []byte("fresh frame B   ")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.pt.Map(va, newGPA, mem.PermRW); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CopyFromGuest(g.vm, ref, va, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("fresh frame B   ")) {
+		t.Fatalf("copy after remap read %q — stale translation", buf)
+	}
+}
+
+// Hostile: an EPT change flushes the VM's whole TLB; a warm translation
+// whose guest-physical backing lost its EPT entry must fault, not serve the
+// cached system-physical address.
+func TestTLBEPTChangeFlushesCache(t *testing.T) {
+	env := sim.NewEnv()
+	h := New(env, 64<<20)
+	h.EnableTLB()
+	g, va, ref := threePageRig(t, h)
+	if err := h.CopyToGuest(g.vm, ref, va, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.vm.tlb.entries) == 0 {
+		t.Fatal("no entries cached")
+	}
+	// Find the backing GPA and rip out its EPT entry.
+	gpa, err := g.pt.Walk(va, mem.PermRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.vm.EPT.Unmap(mem.GuestPhys(mem.PageBase(uint64(gpa)))); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.vm.tlb.entries) != 0 {
+		t.Fatalf("%d entries survived the EPT change", len(g.vm.tlb.entries))
+	}
+	if err := h.CopyToGuest(g.vm, ref, va, make([]byte, 64)); err == nil {
+		t.Fatal("copy succeeded with the EPT entry gone — stale translation served")
+	}
+}
+
+// A translation proven by a read walk must not satisfy a write access: the
+// permission bits ride the cache entry, and an insufficient permission is a
+// miss that takes (and, on a read-only page, faults in) the full walk.
+func TestTLBPermissionNotUpgradedByCache(t *testing.T) {
+	env := sim.NewEnv()
+	h := New(env, 64<<20)
+	h.EnableTLB()
+	g := newGuestRig(t, h, "guest")
+	va := mem.GuestVirt(0x40000000)
+	// Read-only user page.
+	gpa := g.next
+	g.next += mem.PageSize
+	if err := g.pt.Map(va, gpa, mem.PermRead); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := g.grants.Declare(g.pt.Root(), []grant.Op{
+		{Kind: grant.KindCopyTo, VA: va, Len: mem.PageSize},
+		{Kind: grant.KindCopyFrom, VA: va, Len: mem.PageSize},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CopyFromGuest(g.vm, ref, va, make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, hit := g.vm.tlb.lookup(g.pt.Root(), va, mem.PermWrite); hit {
+		t.Fatal("read walk cached a write-capable translation")
+	}
+	if err := h.CopyToGuest(g.vm, ref, va, make([]byte, 16)); err == nil {
+		t.Fatal("write through read-only page succeeded")
+	}
+}
+
+// Satellite: partial-fault behavior of the armed copy. A copy that faults on
+// page k charges exactly the walks it performed, leaves pages 0..k-1 as a
+// deterministic destination prefix, and never caches the faulting page.
+func TestTLBCopyPartialFault(t *testing.T) {
+	env := sim.NewEnv()
+	h := New(env, 64<<20)
+	h.EnableTLB()
+	g := newGuestRig(t, h, "guest")
+	va := mem.GuestVirt(0x40000000)
+	g.mapUserPage(t, va)
+	g.mapUserPage(t, va+mem.PageSize)
+	// Third page deliberately unmapped.
+	n := int(3 * mem.PageSize)
+	ref, err := g.grants.Declare(g.pt.Root(), []grant.Op{{Kind: grant.KindCopyTo, VA: va, Len: uint64(n)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := bytes.Repeat([]byte{0xAB}, n)
+	var copyErr error
+	d := timeOp(env, func() {
+		copyErr = h.CopyToGuest(g.vm, ref, va, src)
+	})
+	if copyErr == nil {
+		t.Fatal("copy across an unmapped page succeeded")
+	}
+	if _, ok := copyErr.(*mem.PageFault); !ok {
+		t.Fatalf("copy error %T (%v), want *mem.PageFault", copyErr, copyErr)
+	}
+	// Exactly 3 walk attempts (all misses: two proven, one faulted) plus the
+	// memcpy share of the 2 pages that actually moved.
+	want := perf.CostGrantDeclare + 3*perf.CostCopyPerPage +
+		sim.Duration(2*mem.PageSize)*perf.CostCopyPerKB/1024
+	if d != want {
+		t.Fatalf("partial-fault copy charged %v, want %v", d, want)
+	}
+	// Deterministic destination prefix: both reachable pages fully written.
+	got := make([]byte, 2*mem.PageSize)
+	if err := g.user().Read(va, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src[:2*mem.PageSize]) {
+		t.Fatal("destination prefix not the copied bytes")
+	}
+	// The two proven pages are cached; the faulting page is not.
+	if _, hit := g.vm.tlb.lookup(g.pt.Root(), va+mem.GuestVirt(mem.PageSize), mem.PermWrite); !hit {
+		t.Fatal("proven page not cached")
+	}
+	if _, hit := g.vm.tlb.lookup(g.pt.Root(), va+2*mem.GuestVirt(mem.PageSize), mem.PermRead); hit {
+		t.Fatal("faulting page left in the TLB")
+	}
+}
+
+// The grant-validation cache: a batched declare primes the vector, a
+// validation hit charges CostTLBHit, and a revocation drops the reference so
+// a revoked-while-cached validation is denied — never served stale.
+func TestGrantCacheHitAndRevokedValidationDenied(t *testing.T) {
+	env := sim.NewEnv()
+	h := New(env, 64<<20)
+	g := newGuestRig(t, h, "guest")
+	h.EnableGrantCache(g.vm, g.grants)
+	va := mem.GuestVirt(0x40000000)
+	g.mapUserPage(t, va)
+	ref, err := g.grants.Declare(g.pt.Root(), []grant.Op{{Kind: grant.KindCopyTo, VA: va, Len: 256}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.vm.grantCache.lookup(ref, grant.KindCopyTo, va, 256); !ok {
+		t.Fatal("declare did not prime the grant cache")
+	}
+	d := timeOp(env, func() {
+		if err := h.CopyToGuest(g.vm, ref, va, make([]byte, 256)); err != nil {
+			t.Error(err)
+		}
+	})
+	want := perf.CostTLBHit + perf.Copy(256, 1)
+	if d != want {
+		t.Fatalf("cached validation + copy charged %v, want %v", d, want)
+	}
+	// Out-of-range and wrong-kind requests still miss the cache and are
+	// denied by the full scan — caching must not weaken the check.
+	if err := h.CopyToGuest(g.vm, ref, va+200, make([]byte, 100)); err == nil {
+		t.Fatal("overflow past grant accepted by cached validation")
+	}
+	if err := h.CopyFromGuest(g.vm, ref, va, make([]byte, 8)); err == nil {
+		t.Fatal("wrong-direction access accepted by cached validation")
+	}
+	// Revoke: the cache entry dies with the declaration.
+	if err := g.grants.Revoke(ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.vm.grantCache.lookup(ref, grant.KindCopyTo, va, 256); ok {
+		t.Fatal("revoked reference survived in the grant cache")
+	}
+	if err := h.CopyToGuest(g.vm, ref, va, make([]byte, 16)); err == nil {
+		t.Fatal("copy under revoked grant succeeded")
+	}
+}
+
+// A rolled-back declaration (table full) must never prime the cache: the
+// OnDeclare hook only fires after every slot was written.
+func TestGrantCacheRollbackNotPrimed(t *testing.T) {
+	env := sim.NewEnv()
+	h := New(env, 64<<20)
+	g := newGuestRig(t, h, "guest")
+	h.EnableGrantCache(g.vm, g.grants)
+	va := mem.GuestVirt(0x40000000)
+	ops := make([]grant.Op, grant.Slots+1)
+	for i := range ops {
+		ops[i] = grant.Op{Kind: grant.KindCopyTo, VA: va, Len: 16}
+	}
+	if _, err := g.grants.Declare(g.pt.Root(), ops); err == nil {
+		t.Fatal("oversized declaration succeeded")
+	}
+	if len(g.vm.grantCache.decls) != 0 {
+		t.Fatalf("rolled-back declaration primed %d cache entries", len(g.vm.grantCache.decls))
+	}
+}
+
+// FlushTranslationCaches (the RestartDriverVM hook) empties both caches.
+func TestFlushTranslationCaches(t *testing.T) {
+	env := sim.NewEnv()
+	h := New(env, 64<<20)
+	h.EnableTLB()
+	g, va, ref := threePageRig(t, h)
+	h.EnableGrantCache(g.vm, g.grants)
+	ref2, err := g.grants.Declare(g.pt.Root(), []grant.Op{{Kind: grant.KindCopyTo, VA: va, Len: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.CopyToGuest(g.vm, ref, va, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.vm.tlb.entries) == 0 || len(g.vm.grantCache.decls) == 0 {
+		t.Fatal("caches not populated")
+	}
+	epoch := g.vm.tlb.epoch
+	h.FlushTranslationCaches()
+	if len(g.vm.tlb.entries) != 0 || len(g.vm.grantCache.decls) != 0 {
+		t.Fatal("caches survived the flush")
+	}
+	if g.vm.tlb.epoch != epoch+1 {
+		t.Fatalf("flush did not enter a new epoch (%d -> %d)", epoch, g.vm.tlb.epoch)
+	}
+	// The flushed state revalidates rather than failing: the grant table
+	// bytes still hold ref2, so the scan path accepts it cold.
+	if err := h.CopyToGuest(g.vm, ref2, va, make([]byte, 64)); err != nil {
+		t.Fatalf("post-flush revalidation failed: %v", err)
+	}
+}
+
+// MapGuestBuffer with the TLB armed: a cold establishment charges the
+// dormant npages·CostMapPage, a warm one replaces each page's walk share
+// with CostTLBHit.
+func TestTLBMapGuestBufferWarmCharges(t *testing.T) {
+	const n = 2 * mem.PageSize
+	env := sim.NewEnv()
+	h := New(env, 64<<20)
+	h.EnableTLB()
+	g, va, ref := threePageRig(t, h)
+	drv, _ := h.CreateVM("driver", 4<<20)
+	cold := timeOp(env, func() {
+		m, err := h.MapGuestBuffer(g.vm, ref, grant.KindCopyTo, va, n, drv)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m.Unmap()
+	})
+	coldWant := perf.CostGrantDeclare + 2*perf.CostMapPage + // establish (misses)
+		2*perf.CostMapPage // teardown
+	if cold != coldWant {
+		t.Fatalf("cold map+unmap charged %v, want %v", cold, coldWant)
+	}
+	warm := timeOp(env, func() {
+		m, err := h.MapGuestBuffer(g.vm, ref, grant.KindCopyTo, va, n, drv)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m.Unmap()
+	})
+	warmWant := perf.CostGrantDeclare +
+		2*(perf.CostMapPage-perf.CostCopyPerPage+perf.CostTLBHit) +
+		2*perf.CostMapPage
+	if warm != warmWant {
+		t.Fatalf("warm map+unmap charged %v, want %v", warm, warmWant)
+	}
+}

@@ -11,6 +11,14 @@ import "fmt"
 // because x86 has no write-only mappings, PermWrite too).
 type EPT struct {
 	entries map[uint64]eptEntry // guest frame number -> entry
+
+	// OnChange, when set, is invoked after every successful mutation — Map,
+	// Unmap, SetPerm. The hypervisor's software TLB subscribes here: any
+	// change to the guest-physical→system-physical layer flushes that VM's
+	// cached translations wholesale, so a page whose EPT entry was removed or
+	// permission-stripped can never be served out of the cache. nil (the
+	// default) costs nothing.
+	OnChange func()
 }
 
 type eptEntry struct {
@@ -34,6 +42,9 @@ func (e *EPT) Map(gpa GuestPhys, spa SysPhys, perm Perm) error {
 		return fmt.Errorf("ept: %v already mapped", gpa)
 	}
 	e.entries[f] = eptEntry{spa: spa, perm: perm}
+	if e.OnChange != nil {
+		e.OnChange()
+	}
 	return nil
 }
 
@@ -44,6 +55,9 @@ func (e *EPT) Unmap(gpa GuestPhys) error {
 		return fmt.Errorf("ept: unmap of unmapped %v", gpa)
 	}
 	delete(e.entries, f)
+	if e.OnChange != nil {
+		e.OnChange()
+	}
 	return nil
 }
 
@@ -56,6 +70,9 @@ func (e *EPT) SetPerm(gpa GuestPhys, perm Perm) error {
 	}
 	ent.perm = perm
 	e.entries[f] = ent
+	if e.OnChange != nil {
+		e.OnChange()
+	}
 	return nil
 }
 

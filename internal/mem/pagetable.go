@@ -146,7 +146,13 @@ func (pt *PageTable) SetLeaf(va GuestVirt, gpa GuestPhys, perm Perm) error {
 	if perm&PermWrite != 0 {
 		v |= pteWritable
 	}
-	return pt.writeEntry(leaf, ptIndex(va), v)
+	if err := pt.writeEntry(leaf, ptIndex(va), v); err != nil {
+		return err
+	}
+	if pt.space.OnPTEdit != nil {
+		pt.space.OnPTEdit(pt.root, GuestVirt(PageBase(uint64(va))))
+	}
+	return nil
 }
 
 // Unmap clears the leaf translation for va.
@@ -165,7 +171,13 @@ func (pt *PageTable) Unmap(va GuestVirt) error {
 	if ent&ptePresent == 0 {
 		return &PageFault{VA: va}
 	}
-	return pt.writeEntry(leaf, ptIndex(va), 0)
+	if err := pt.writeEntry(leaf, ptIndex(va), 0); err != nil {
+		return err
+	}
+	if pt.space.OnPTEdit != nil {
+		pt.space.OnPTEdit(pt.root, GuestVirt(PageBase(uint64(va))))
+	}
+	return nil
 }
 
 // Walk translates va (page-aligned or not; the offset is preserved) to a

@@ -13,6 +13,14 @@ import "encoding/binary"
 type GuestSpace struct {
 	Phys *PhysMem
 	EPT  *EPT
+
+	// OnPTEdit, when set, is invoked after every successful leaf mutation of
+	// a PageTable whose frames live in this space — SetLeaf and Unmap — with
+	// the root of the edited table and the virtual page that changed. The
+	// hypervisor's software TLB (internal/hv/tlb.go) subscribes here so a
+	// remapped or unmapped page is invalidated in the same instant the PTE
+	// word changes; nil (the default) costs nothing.
+	OnPTEdit func(root GuestPhys, va GuestVirt)
 }
 
 // Read copies len(buf) bytes from guest-physical gpa, page by page.

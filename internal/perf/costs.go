@@ -95,6 +95,19 @@ const (
 	// the hypervisor cost of validating one memory operation against it.
 	CostGrantDeclare = 150 * sim.Nanosecond
 
+	// CostGrantEntry is the incremental cost of each additional grant entry
+	// in a batched declare hypercall (Config.GrantBatch): the first entry
+	// pays the full CostGrantDeclare (the crossing plus the slot write),
+	// later entries in the same vectored call only pay the slot write.
+	CostGrantEntry = 30 * sim.Nanosecond
+
+	// CostTLBHit is the hypervisor's cost to serve one page translation (or
+	// one cached grant authorization) out of the software TLB (Config.TLB)
+	// instead of performing the full guest-PT + EPT walk. Calibrated well
+	// below CostCopyPerPage/CostGrantDeclare — a tagged cache lookup, no
+	// page-table memory touches.
+	CostTLBHit = 40 * sim.Nanosecond
+
 	// CostDriverNoop is the device driver's own handling cost for a trivial
 	// file operation (native no-op ioctl path).
 	CostDriverNoop = 300 * sim.Nanosecond

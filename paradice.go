@@ -138,6 +138,19 @@ type Config struct {
 	// within the window of the first share one inter-VM IRQ. Zero disables
 	// coalescing. Polling mode and watchdog heartbeats are unaffected.
 	CoalesceWindow sim.Duration
+	// TLB arms the hypervisor's software TLB: per-VM caches of
+	// guest-VA→system-PA translations consulted by the assisted-copy and
+	// buffer-mapping paths before the full per-page walks of §5.2, with
+	// deterministic invalidation on page-table edits, EPT changes, grant
+	// revocation, and driver-VM restart. Off by default (the paper's
+	// walk-every-time behavior); the "walkcache" experiment measures the
+	// hit-rate speedup.
+	TLB bool
+	// GrantBatch batches grant hypercalls: a file operation's whole grant
+	// vector is declared in one hypervisor crossing and backend validations
+	// hit the hypervisor's cached vector instead of re-scanning the shared
+	// page. Off by default.
+	GrantBatch bool
 }
 
 func (c Config) withDefaults() Config {
@@ -231,6 +244,11 @@ func build(kind Kind, cfg Config) (*Machine, error) {
 	cfg = cfg.withDefaults()
 	env := sim.NewEnv()
 	h := hv.New(env, cfg.HostRAM)
+	if cfg.TLB {
+		// Armed before any VM exists, so every VM — driver and guests alike —
+		// gets its translation cache and invalidation hooks from creation.
+		h.EnableTLB()
+	}
 	m := &Machine{Kind: kind, Env: env, HV: h, cfg: cfg}
 
 	// Create the devices once — they are hardware and survive driver VM

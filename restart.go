@@ -66,6 +66,12 @@ func (m *Machine) RestartDriverVM() error {
 	m.Mouse.Reset()
 	m.Keyboard.Reset()
 
+	// The restart invalidates every cached translation wholesale: the
+	// software TLBs and the grant-validation caches restart cold, like the
+	// grant-map caches the backend Stop calls above already dropped. A
+	// post-restart operation must prove its translations afresh.
+	m.HV.FlushTranslationCaches()
+
 	// The reboot takes real (virtual) time when driven from a simulation
 	// process. Guests keep running meanwhile; their operations fail fast
 	// with EREMOTE at the frontend because every backend is stopped.
