@@ -1,20 +1,31 @@
 // Command bench-regress guards the perf trajectory: it compares a fresh
 // `paradice-bench -json` run against the committed baseline
-// (BENCH_5.json) and fails when a guarded latency row regressed by more
-// than the allowed drift.
+// (BENCH_5.json, BENCH_6.json) and fails when a guarded row drifted past
+// its tolerance in the bad direction.
 //
-// Guarded rows are the ones the paper's evaluation hangs on: the §6.1.1
-// no-op forwarding latencies (both transports) and the Figure 5 order-500
-// matrix-multiplication times (every series). All guarded rows are
-// "lower is better"; only upward drift fails the check. The simulation is
-// deterministic, so the expected drift is exactly zero — the 10% allowance
-// exists so an intentional cost-model recalibration shows up as a reviewed
-// baseline update, not a red herring.
+// Guarded rows are the ones the evaluation hangs on:
+//
+//   - the §6.1.1 no-op forwarding latencies (both transports) and the
+//     Figure 5 order-500 matrix-multiplication times — lower is better,
+//     only upward drift fails;
+//   - the tail experiment's per-class p99 rows at every load level —
+//     lower is better, gated at 10% so a tail regression under open-loop
+//     load fails the build even when the means stay flat;
+//   - the tail experiment's max-sustained-throughput row — HIGHER is
+//     better, so it fails on downward drift (tolerance 5%: the sweep is
+//     quantized to the swept rates, so any real capacity loss shows up as
+//     a whole-level drop, far beyond 5%).
+//
+// The simulation is deterministic, so the expected drift is exactly zero —
+// the tolerances exist so an intentional cost-model recalibration shows up
+// as a reviewed baseline update, not a red herring.
 //
 // Usage:
 //
 //	paradice-bench -json -exp noop,fig5 > current.json
 //	bench-regress -baseline BENCH_5.json -current current.json
+//	paradice-bench -json -exp tail > current6.json
+//	bench-regress -baseline BENCH_6.json -current current6.json
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -38,44 +50,117 @@ type result struct {
 	Error string `json:"error"`
 }
 
-// guarded reports whether a row participates in the regression gate.
-func guarded(id string, r row) bool {
-	switch id {
-	case "noop":
-		return r.X == "no-op fileop"
-	case "fig5":
-		return r.X == "order=500"
-	}
-	return false
+// rule is one guarded row's gate: its drift tolerance in percent and the
+// direction that counts as a regression.
+type rule struct {
+	tol            float64 // allowed drift in percent (0: the -max-drift default)
+	higherIsBetter bool    // fail on downward drift instead of upward
 }
 
-func load(path string) (map[string]float64, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
+// ruleFor returns the gate rule for a row, or false when the row is not
+// guarded.
+func ruleFor(id string, r row) (rule, bool) {
+	switch id {
+	case "noop":
+		if r.X == "no-op fileop" {
+			return rule{}, true
+		}
+	case "fig5":
+		if r.X == "order=500" {
+			return rule{}, true
+		}
+	case "tail":
+		if strings.HasSuffix(r.Series, " p99") {
+			return rule{}, true
+		}
+		if r.Series == "max-sustained" {
+			return rule{tol: 5, higherIsBetter: true}, true
+		}
 	}
+	return rule{}, false
+}
+
+// entry is one guarded value with its gate rule.
+type entry struct {
+	val  float64
+	rule rule
+}
+
+func parse(path string, data []byte) (map[string]entry, error) {
 	var results []result
 	if err := json.Unmarshal(data, &results); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	vals := make(map[string]float64)
+	vals := make(map[string]entry)
 	for _, res := range results {
 		if res.Error != "" {
 			return nil, fmt.Errorf("%s: experiment %s errored: %s", path, res.ID, res.Error)
 		}
 		for _, r := range res.Rows {
-			if guarded(res.ID, r) {
-				vals[res.ID+"/"+r.Series+"/"+r.X] = r.Value
+			if ru, ok := ruleFor(res.ID, r); ok {
+				vals[res.ID+"/"+r.Series+"/"+r.X] = entry{val: r.Value, rule: ru}
 			}
 		}
 	}
 	return vals, nil
 }
 
+func load(path string) (map[string]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parse(path, data)
+}
+
+// compare gates every baseline row against the current run. It returns the
+// per-row report lines and the failures; maxDrift is the tolerance for
+// rows whose rule carries none of their own.
+func compare(base, cur map[string]entry, maxDrift float64) (report, failures []string) {
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		want := base[key]
+		got, ok := cur[key]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%-40s missing from current run", key))
+			continue
+		}
+		tol := want.rule.tol
+		if tol == 0 {
+			tol = maxDrift
+		}
+		drift := 0.0
+		if want.val != 0 {
+			drift = 100 * (got.val - want.val) / want.val
+		} else if got.val != 0 {
+			drift = 100 // from zero to nonzero: report as full drift
+		}
+		bad := drift > tol
+		dir := ">"
+		if want.rule.higherIsBetter {
+			bad = drift < -tol
+			dir = "<-"
+		}
+		status := "ok"
+		if bad {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%-40s %.3f -> %.3f (%+.1f%% %s %.0f%%)",
+				key, want.val, got.val, drift, dir, tol))
+		}
+		report = append(report, fmt.Sprintf("  %-40s baseline %12.3f  current %12.3f  %+7.1f%%  %s",
+			key, want.val, got.val, drift, status))
+	}
+	return report, failures
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_5.json", "committed baseline JSON")
 	current := flag.String("current", "", "fresh paradice-bench -json output")
-	maxDrift := flag.Float64("max-drift", 10, "allowed upward drift in percent")
+	maxDrift := flag.Float64("max-drift", 10, "default allowed drift in percent")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "bench-regress: -current is required")
@@ -97,27 +182,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	var failures []string
-	for key, want := range base {
-		got, ok := cur[key]
-		if !ok {
-			failures = append(failures, fmt.Sprintf("%-40s missing from current run", key))
-			continue
-		}
-		drift := 100 * (got - want) / want
-		status := "ok"
-		if drift > *maxDrift {
-			status = "REGRESSED"
-			failures = append(failures, fmt.Sprintf("%-40s %.3f -> %.3f (%+.1f%% > %.0f%%)",
-				key, want, got, drift, *maxDrift))
-		}
-		fmt.Printf("  %-40s baseline %12.3f  current %12.3f  %+7.1f%%  %s\n",
-			key, want, got, drift, status)
+	report, failures := compare(base, cur, *maxDrift)
+	for _, line := range report {
+		fmt.Println(line)
 	}
 	if len(failures) > 0 {
-		fmt.Fprintf(os.Stderr, "\nbench-regress: %d guarded row(s) regressed beyond %.0f%%:\n  %s\n",
-			len(failures), *maxDrift, strings.Join(failures, "\n  "))
+		fmt.Fprintf(os.Stderr, "\nbench-regress: %d guarded row(s) regressed:\n  %s\n",
+			len(failures), strings.Join(failures, "\n  "))
 		os.Exit(1)
 	}
-	fmt.Printf("bench-regress: %d guarded rows within %.0f%% of %s\n", len(base), *maxDrift, *baseline)
+	fmt.Printf("bench-regress: %d guarded rows within tolerance of %s\n", len(base), *baseline)
 }

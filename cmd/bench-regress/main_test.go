@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fixture builds a paradice-bench -json document with one noop row, two
+// tail p99 rows, and the tail max-sustained row, at the given values.
+func fixture(noop, rtP99, bulkP99, sustained float64) []byte {
+	return []byte(fmt.Sprintf(`[
+  {"id": "noop", "title": "no-op", "rows": [
+    {"Series": "Paradice(P)", "X": "no-op fileop", "Value": %g, "Unit": "µs"},
+    {"Series": "Paradice(P)", "X": "unguarded", "Value": 999, "Unit": "µs"}
+  ]},
+  {"id": "tail", "title": "tail", "rows": [
+    {"Series": "rt p99", "X": "load=60k/s", "Value": %g, "Unit": "µs"},
+    {"Series": "bulk p99", "X": "load=60k/s", "Value": %g, "Unit": "µs"},
+    {"Series": "rt p50", "X": "load=60k/s", "Value": 5.0, "Unit": "µs"},
+    {"Series": "max-sustained", "X": "goodput>=97%%", "Value": %g, "Unit": "kops/s"}
+  ]}
+]`, noop, rtP99, bulkP99, sustained))
+}
+
+func mustParse(t *testing.T, data []byte) map[string]entry {
+	t.Helper()
+	vals, err := parse("fixture", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+// Only guarded rows participate: the noop latency, the p99 rows, and the
+// max-sustained row — not the unguarded latency or the p50.
+func TestParseGuardedRows(t *testing.T) {
+	vals := mustParse(t, fixture(35.3, 11.8, 13.4, 240))
+	want := []string{
+		"noop/Paradice(P)/no-op fileop",
+		"tail/rt p99/load=60k/s",
+		"tail/bulk p99/load=60k/s",
+		"tail/max-sustained/goodput>=97%",
+	}
+	if len(vals) != len(want) {
+		t.Fatalf("%d guarded rows, want %d: %v", len(vals), len(want), vals)
+	}
+	for _, k := range want {
+		if _, ok := vals[k]; !ok {
+			t.Errorf("missing guarded row %q", k)
+		}
+	}
+	ms := vals["tail/max-sustained/goodput>=97%"]
+	if !ms.rule.higherIsBetter || ms.rule.tol != 5 {
+		t.Errorf("max-sustained rule = %+v, want higher-is-better at 5%%", ms.rule)
+	}
+}
+
+// Identical runs pass; a small in-tolerance drift passes; and a latency
+// IMPROVEMENT (downward) passes however large.
+func TestComparePass(t *testing.T) {
+	base := mustParse(t, fixture(35.3, 11.8, 13.4, 240))
+	for _, cur := range [][]byte{
+		fixture(35.3, 11.8, 13.4, 240), // identical
+		fixture(36.0, 12.5, 13.9, 235), // few percent, inside tolerance
+		fixture(20.0, 6.0, 7.0, 300),   // big improvement in the good direction
+	} {
+		_, failures := compare(base, mustParse(t, cur), 10)
+		if len(failures) != 0 {
+			t.Errorf("unexpected failures for %s:\n%s", cur, strings.Join(failures, "\n"))
+		}
+	}
+}
+
+// A >10% p99 regression fails even when every mean-level row is flat.
+func TestCompareP99Drift(t *testing.T) {
+	base := mustParse(t, fixture(35.3, 11.8, 13.4, 240))
+	cur := mustParse(t, fixture(35.3, 13.2, 13.4, 240)) // rt p99 +11.9%
+	_, failures := compare(base, cur, 10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "rt p99") {
+		t.Fatalf("failures = %v, want exactly the rt p99 row", failures)
+	}
+}
+
+// A guarded row missing from the current run fails.
+func TestCompareMissingRow(t *testing.T) {
+	base := mustParse(t, fixture(35.3, 11.8, 13.4, 240))
+	cur := mustParse(t, []byte(`[{"id": "noop", "title": "no-op", "rows": [
+    {"Series": "Paradice(P)", "X": "no-op fileop", "Value": 35.3, "Unit": "µs"}]}]`))
+	_, failures := compare(base, cur, 10)
+	if len(failures) != 3 {
+		t.Fatalf("failures = %v, want the three missing tail rows", failures)
+	}
+	for _, f := range failures {
+		if !strings.Contains(f, "missing") {
+			t.Errorf("failure %q does not report a missing row", f)
+		}
+	}
+}
+
+// max-sustained is higher-is-better: a drop beyond 5% fails, a rise never
+// does — the exact opposite of the latency rows.
+func TestCompareThroughputDirection(t *testing.T) {
+	base := mustParse(t, fixture(35.3, 11.8, 13.4, 240))
+
+	cur := mustParse(t, fixture(35.3, 11.8, 13.4, 180)) // -25% capacity
+	_, failures := compare(base, cur, 10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "max-sustained") {
+		t.Fatalf("failures = %v, want exactly the max-sustained row", failures)
+	}
+
+	cur = mustParse(t, fixture(35.3, 11.8, 13.4, 300)) // +25% capacity: fine
+	_, failures = compare(base, cur, 10)
+	if len(failures) != 0 {
+		t.Fatalf("capacity gain flagged as regression: %v", failures)
+	}
+}
+
+// An errored experiment in either file is a hard parse error, not a silent
+// skip.
+func TestParseErroredExperiment(t *testing.T) {
+	_, err := parse("fixture", []byte(`[{"id": "tail", "error": "boom", "rows": []}]`))
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want the experiment error surfaced", err)
+	}
+}

@@ -81,6 +81,7 @@ func (g *Guest) Paravirtualize(paths ...string) error {
 			CoalesceWindow:  g.M.cfg.CoalesceWindow,
 			TLB:             g.M.cfg.TLB,
 			GrantBatch:      g.M.cfg.GrantBatch,
+			Admission:       g.M.cfg.Admission,
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// Two same-seed runs of the tail experiment are byte-identical after JSON
+// encoding — histogram quantiles, the throughput sweep, and the QoS shed
+// counts included. This is the property the bench-regress gate rests on:
+// any drift it sees is a code change, never noise.
+func TestTailDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick sweeps; skipped in -short")
+	}
+	run := func() []byte {
+		rows, err := RunTail(true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := run()
+	b := run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two same-seed tail runs differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// The quick sweep carries the rows the gate guards: per-class p99 at every
+// load level, and the max-sustained-throughput row.
+func TestTailRowShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick sweep; skipped in -short")
+	}
+	rows, err := RunTail(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99 := 0
+	sustained := false
+	for _, r := range rows {
+		switch {
+		case r.Series == "rt p99" || r.Series == "bulk p99":
+			p99++
+			if r.Value <= 0 {
+				t.Errorf("%s %s = %v, want > 0", r.Series, r.X, r.Value)
+			}
+		case r.Series == "max-sustained":
+			sustained = true
+			if r.Value <= 0 {
+				t.Errorf("max-sustained = %v, want > 0", r.Value)
+			}
+		}
+	}
+	if want := 2 * len(tailQuickRates); p99 != want {
+		t.Errorf("%d p99 rows, want %d", p99, want)
+	}
+	if !sustained {
+		t.Error("no max-sustained row")
+	}
+}

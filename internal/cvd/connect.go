@@ -71,6 +71,13 @@ type Config struct {
 	// revocation, and driver-VM restart. Off by default — every operation
 	// pays full per-page walks, byte-identical to the seed.
 	TLB bool
+	// Admission maps a QoS class (kernel.Task.QoS) to the ring occupancy at
+	// which that class stops being admitted: once the ring holds that many
+	// in-flight requests, further requests from the class fail fast with
+	// EAGAIN instead of queueing. Classes absent from the map are admitted
+	// until the ring itself is full (EBUSY). nil disables admission control
+	// — the seed behavior.
+	Admission map[uint8]int
 	// GrantBatch batches grant hypercalls: the frontend declares a file
 	// operation's whole grant vector in one hypervisor crossing (the first
 	// entry costs CostGrantDeclare, each further entry CostGrantEntry), and
@@ -169,6 +176,7 @@ func Connect(cfg Config) (*Frontend, *Backend, error) {
 	for i := range fe.respEvents {
 		fe.respEvents[i] = cfg.HV.Env.NewEvent(fmt.Sprintf("cvd-resp-%s-%d", cfg.GuestPath, i))
 	}
+	fe.SetAdmission(cfg.Admission)
 	if cfg.MapCache {
 		fe.mapCache = true
 		fe.mapThreshold = cfg.MapThreshold

@@ -1,6 +1,8 @@
 package cvd
 
 import (
+	"fmt"
+
 	"paradice/internal/devfile"
 	"paradice/internal/faults"
 	"paradice/internal/grant"
@@ -81,6 +83,18 @@ type Frontend struct {
 	// memory operations validate against the cached vector.
 	grantBatch bool
 
+	// QoS admission control (Config.Admission). admission maps a task's
+	// QoS class to the ring occupancy at which that class stops being
+	// admitted: a request whose class has a limit configured is refused
+	// with EAGAIN — before claiming a slot — once the ring already holds
+	// that many in-flight requests. Classes without an entry are admitted
+	// until the ring itself is full (EBUSY). This is the backpressure that
+	// keeps low-priority open-loop load from starving latency-critical
+	// classes of the 100 shared slots. admitNames are the per-class trace
+	// counter names, precomputed so the hot path never builds strings.
+	admission  map[uint8]int
+	admitNames map[uint8]string
+
 	// Heartbeat state (driver-VM supervision): hbSeq is the last posted
 	// heartbeat sequence, hbEvent fires when the backend's ack for it is
 	// observed by the response ISR.
@@ -90,6 +104,7 @@ type Frontend struct {
 	// Stats for tests and benches.
 	RoundTrips     uint64
 	Rejected       uint64 // posts rejected because the queue was full
+	Throttled      uint64 // posts refused by QoS admission control (EAGAIN)
 	TimedOut       uint64 // requests failed by the per-request deadline
 	FastFailed     uint64 // requests refused outright (dead backend / degraded)
 	DoorbellIRQs   uint64 // doorbell inter-VM IRQs actually sent
@@ -107,9 +122,9 @@ type Frontend struct {
 // at Connect time (tracing must cost nothing but a map lookup when off, and
 // no string concatenation when on).
 type feMetricNames struct {
-	ops, bytes, rejected, timedOut, fastFailed string
-	lat                                        string
-	errTimedOut, errNoDev, errRemote, errBusy  string
+	ops, bytes, rejected, throttled, timedOut, fastFailed string
+	lat                                                   string
+	errTimedOut, errNoDev, errRemote, errBusy, errAgain   string
 }
 
 func newFeMetricNames(path string) feMetricNames {
@@ -118,6 +133,7 @@ func newFeMetricNames(path string) feMetricNames {
 		ops:         p + ".ops",
 		bytes:       p + ".bytes",
 		rejected:    p + ".rejected",
+		throttled:   p + ".throttled",
 		timedOut:    p + ".timedout",
 		fastFailed:  p + ".fastfailed",
 		lat:         p + ".roundtrip",
@@ -125,6 +141,7 @@ func newFeMetricNames(path string) feMetricNames {
 		errNoDev:    p + ".errno.ENODEV",
 		errRemote:   p + ".errno.EREMOTE",
 		errBusy:     p + ".errno.EBUSY",
+		errAgain:    p + ".errno.EAGAIN",
 	}
 }
 
@@ -272,6 +289,20 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 		tr.Add(fe.m.errRemote, 1)
 		return -1, kernel.EREMOTE
 	}
+	if lim, limited := fe.admission[t.QoS]; limited &&
+		r.op != opOpen && r.op != opRelease && fe.Occupancy() >= lim {
+		// Admission control: this QoS class is not allowed to deepen the
+		// queue past its occupancy limit. EAGAIN tells an open-loop client
+		// to shed the request rather than pile onto a saturated ring.
+		// Lifecycle operations (open/release) are exempt — shedding a
+		// release would leak the backend file, and neither adds load worth
+		// shedding.
+		fe.Throttled++
+		tr.Add(fe.m.throttled, 1)
+		tr.Add(fe.admitNames[t.QoS], 1)
+		tr.Add(fe.m.errAgain, 1)
+		return -1, kernel.EAGAIN
+	}
 	slot, ok := fe.allocSlot()
 	if !ok {
 		// All 100 queue slots in use: the DoS cap of §5.1.
@@ -360,6 +391,36 @@ func (fe *Frontend) waitResponse(t *kernel.Task, ev *sim.Event) bool {
 // (0 disables). Supervision enables this so a request stuck behind a dead
 // driver VM times out with ETIMEDOUT instead of blocking its issuer forever.
 func (fe *Frontend) SetDeadline(d sim.Duration) { fe.deadline = d }
+
+// SetAdmission installs per-QoS-class admission limits: a request from a
+// class present in the map is refused with EAGAIN when the ring already
+// holds limit in-flight requests. Classes absent from the map are admitted
+// until the ring is full. nil (or empty) disables admission control.
+func (fe *Frontend) SetAdmission(limits map[uint8]int) {
+	if len(limits) == 0 {
+		fe.admission, fe.admitNames = nil, nil
+		return
+	}
+	fe.admission = make(map[uint8]int, len(limits))
+	fe.admitNames = make(map[uint8]string, len(limits))
+	for cls, lim := range limits {
+		fe.admission[cls] = lim
+		fe.admitNames[cls] = fmt.Sprintf("cvd.%s.eagain.class%d", fe.path, cls)
+	}
+}
+
+// Occupancy returns the number of ring slots currently in flight (claimed,
+// posted, running, or completed-but-uncollected) — the queue depth the
+// admission limits are compared against.
+func (fe *Frontend) Occupancy() int {
+	n := 0
+	for s := 0; s < slotCount; s++ {
+		if fe.ring.slotState(s) != slotFree {
+			n++
+		}
+	}
+	return n
+}
 
 // SetDegraded enters or leaves degraded mode: every subsequent operation
 // fails immediately with ENODEV. The supervisor degrades a device when its

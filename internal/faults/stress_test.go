@@ -17,6 +17,12 @@ package faults_test
 //   - no backend panic: a sim process panicking is trapped and reported;
 //   - monotone virtual clock.
 //
+// Every 4th seed additionally arms one optional subsystem (driver-VM
+// supervision, the bulk-transfer fast path, the translation caches, or the
+// open-loop load generator — residues 3/1/2/0; force one everywhere with
+// the matching -stress.* flag), so injected faults land on each feature in
+// a quarter of the sweep without losing the plain-configuration coverage.
+//
 // On failure the reproducing seed is printed; re-run with
 // -stress.seed=<seed> to replay the exact simulation.
 
@@ -33,6 +39,7 @@ import (
 	"paradice/internal/faults"
 	"paradice/internal/hv"
 	"paradice/internal/kernel"
+	"paradice/internal/load"
 	"paradice/internal/mem"
 	"paradice/internal/sim"
 	"paradice/internal/supervise"
@@ -45,6 +52,7 @@ var (
 	stressSupervised = flag.Bool("stress.supervised", false, "run every seed under driver-VM supervision (default: every 4th seed)")
 	stressFastpath   = flag.Bool("stress.fastpath", false, "run every seed with the bulk-transfer fast path armed (default: every 4th seed)")
 	stressWalkcache  = flag.Bool("stress.walkcache", false, "run every seed with the software TLB and batched grant hypercalls armed (default: every 4th seed)")
+	stressOpenloop   = flag.Bool("stress.openloop", false, "run every seed with the open-loop load generator armed (default: every 4th seed)")
 )
 
 const (
@@ -309,6 +317,16 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	// stays dormant so the broken-check canary signal is unobscured.
 	walkcache := !weaken && (*stressWalkcache || seed%4 == 2)
 
+	// The fourth residue arms the open-loop load generator: a second
+	// paravirtualized device (the load sink) shares the same guest and
+	// driver VMs, and a seeded open-loop client mix — two QoS classes, the
+	// bulk class admission-limited — floods it while the fault plan fires
+	// on both channels. The sink channel is deliberately NOT part of the
+	// phase-2 recovery: its per-request deadline is what must keep the
+	// generator's clients live when the plan kills that backend, and every
+	// outcome the clients observe must still be an honest errno.
+	openloop := !weaken && (*stressOpenloop || seed%4 == 0)
+
 	h := hv.New(env, 64<<20)
 	driverVM, err := h.CreateVM("driver", vmRAM)
 	if err != nil {
@@ -366,6 +384,46 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	fe, be, err := cvd.Connect(cfg)
 	if err != nil {
 		return err
+	}
+
+	var gen *load.Generator
+	if openloop {
+		sink := load.NewSink(env, 2*sim.Microsecond, sim.Microsecond)
+		driverK.RegisterDevice(load.SinkPath, sink, sink)
+		if _, _, err := cvd.Connect(cvd.Config{
+			HV: h, GuestVM: guestVM, GuestK: guestK,
+			DriverVM: driverVM, DriverK: driverK,
+			DevicePath: load.SinkPath, Mode: mode,
+			// Liveness under fire: nothing ever reconnects this channel,
+			// so requests stranded by a killed backend must unblock with
+			// ETIMEDOUT on their own.
+			RequestDeadline: 5 * sim.Millisecond,
+			Admission:       map[uint8]int{2: 60},
+		}); err != nil {
+			return err
+		}
+		arr := load.Poisson
+		if rng.Intn(2) == 1 {
+			arr = load.Bursty
+		}
+		gen, err = load.NewGenerator(load.Profile{
+			Path: load.SinkPath,
+			Classes: []load.Class{
+				{Name: "rt", QoS: 0, Size: 128, Weight: 1},
+				{Name: "bulk", QoS: 2, Size: 1024, Weight: 2},
+			},
+			Arrival:  arr,
+			Rate:     40_000,
+			Clients:  8,
+			Duration: 4 * sim.Millisecond,
+			Seed:     seed,
+		})
+		if err != nil {
+			return err
+		}
+		if err := gen.Start(guestK); err != nil {
+			return err
+		}
 	}
 
 	// Arm the plan. The weakened run keeps everything else quiet so the one
@@ -529,29 +587,34 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	// Phase 2: the fault window closes. If anything is still blocked — the
 	// driver VM died, or a doorbell/response interrupt was dropped with no
 	// later traffic to re-scan the ring — run the paper's recovery: restart
-	// the driver VM and reconnect the frontend.
-	if !allDone() {
+	// the driver VM and reconnect the frontend. The open-loop sink channel
+	// is deliberately left out of the recovery: its clients must drain on
+	// per-request deadlines alone, so phase 2 only removes the fault plan
+	// and lets the calendar run dry for them.
+	if !allDone() || (gen != nil && !gen.Done()) {
 		faults.Uninstall(env)
-		cur := be
-		if st != nil {
-			cur = st.be // the supervisor may have replaced the backend
+		if !allDone() {
+			cur := be
+			if st != nil {
+				cur = st.be // the supervisor may have replaced the backend
+			}
+			cur.Stop()
+			driverVM2, err := h.CreateVM("driver-restarted", vmRAM)
+			if err != nil {
+				return err
+			}
+			driverK2 := kernel.New("driver-restarted", kernel.Linux, env, driverVM2.Space, driverVM2.RAM)
+			if _, err := newStressDriver(driverK2, canaryVA); err != nil {
+				return err
+			}
+			if _, err := cvd.Reconnect(fe, h, driverVM2, driverK2, stressPath); err != nil {
+				return err
+			}
+			// The manual operator restart also lifts any degraded-mode
+			// verdict a budget-exhausted supervisor left behind, as
+			// Machine.RestartDriverVM does.
+			fe.SetDegraded(false)
 		}
-		cur.Stop()
-		driverVM2, err := h.CreateVM("driver-restarted", vmRAM)
-		if err != nil {
-			return err
-		}
-		driverK2 := kernel.New("driver-restarted", kernel.Linux, env, driverVM2.Space, driverVM2.RAM)
-		if _, err := newStressDriver(driverK2, canaryVA); err != nil {
-			return err
-		}
-		if _, err := cvd.Reconnect(fe, h, driverVM2, driverK2, stressPath); err != nil {
-			return err
-		}
-		// The manual operator restart also lifts any degraded-mode verdict a
-		// budget-exhausted supervisor left behind, as Machine.RestartDriverVM
-		// does.
-		fe.SetDegraded(false)
 		env.Run()
 	}
 	if env.Now() < t1 {
@@ -568,6 +631,24 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 		}
 		return fmt.Errorf("invariant: %d/%d tasks still blocked after recovery (deadlocked: %v; %v)",
 			blocked, nTasks, env.Deadlocked(), plan)
+	}
+	// Invariant: open-loop liveness and honesty. The generator's clients
+	// drained despite the fault schedule (the sink channel's deadlines are
+	// the only thing unsticking them from a killed backend), and none of
+	// them saw anything but an honest errno.
+	if gen != nil {
+		if !gen.Done() {
+			return fmt.Errorf("invariant: open-loop clients still blocked after recovery (deadlocked: %v; %v)",
+				env.Deadlocked(), plan)
+		}
+		lr := gen.Result()
+		if len(lr.Violations) > 0 {
+			return fmt.Errorf("invariant: open-loop generator: %d violations, first: %s (%v)",
+				len(lr.Violations), lr.Violations[0], plan)
+		}
+		if lr.Offered == 0 {
+			return fmt.Errorf("invariant: open-loop generator scheduled no arrivals (%v)", plan)
+		}
 	}
 	// Invariant: honest errnos only.
 	for i, v := range violations {

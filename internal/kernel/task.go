@@ -14,6 +14,12 @@ type Task struct {
 	Proc *Process
 	Name string
 
+	// QoS is the task's quality-of-service class, consulted by the CVD
+	// frontend's admission control: classes with a configured ring-occupancy
+	// limit get EAGAIN instead of queueing once the shared ring is loaded
+	// past their limit. Class 0 (the default) is the highest class.
+	QoS uint8
+
 	// Marked indicates this task is executing a file operation for a
 	// remote guest process (the flag in task_struct the paper describes).
 	Marked bool

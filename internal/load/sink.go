@@ -1,0 +1,72 @@
+package load
+
+import (
+	"paradice/internal/devfile"
+	"paradice/internal/kernel"
+	"paradice/internal/mem"
+	"paradice/internal/sim"
+)
+
+// SinkPath is the conventional device path for the load sink.
+const SinkPath = "/dev/loadsink"
+
+// Cmd returns the sink's ioctl command for a payload of the given size
+// (_IOW: the payload is copied in, nothing comes back).
+func Cmd(size int) devfile.IoctlCmd { return devfile.IOW('L', 0x01, uint32(size)) }
+
+// Sink is the load sink device: a driver whose file operations consume the
+// request payload and then occupy a single serial service unit for a
+// size-dependent service time. The serial unit is the deliberate bottleneck
+// — it gives the device a well-defined capacity (1/serviceTime), so offered
+// load beyond it backs requests up into the CVD ring, which is exactly the
+// regime admission control and the tail-latency experiment probe. (The CVD
+// backend itself dispatches concurrently, so without a serial stage the
+// ring would never fill.)
+type Sink struct {
+	kernel.BaseOps
+
+	// Ops counts completed operations; Busiest tracks the high-water mark
+	// of the service queue (waiters behind the unit).
+	Ops     uint64
+	Busiest int
+
+	res   *sim.Resource
+	base  sim.Duration
+	perKB sim.Duration
+}
+
+// NewSink creates a sink whose service time for an n-byte payload is
+// base + perKB*n/1024, served by one unit in FIFO order.
+func NewSink(env *sim.Env, base, perKB sim.Duration) *Sink {
+	return &Sink{res: env.NewResource("loadsink", 1), base: base, perKB: perKB}
+}
+
+// ServiceTime returns the configured service time for an n-byte payload.
+func (s *Sink) ServiceTime(n int) sim.Duration {
+	return s.base + s.perKB*sim.Duration(n)/1024
+}
+
+// Capacity returns the sink's throughput ceiling for an n-byte payload, in
+// operations per simulated second.
+func (s *Sink) Capacity(n int) float64 { return 1 / s.ServiceTime(n).Seconds() }
+
+// Ioctl implements the sink operation: copy the payload in, then hold the
+// serial unit for the service time.
+func (s *Sink) Ioctl(c *kernel.FopCtx, cmd devfile.IoctlCmd, arg mem.GuestVirt) (int32, error) {
+	n := int(cmd.Size())
+	if n > 0 {
+		buf := make([]byte, n)
+		if err := kernel.CopyFromUser(c, arg, buf); err != nil {
+			return 0, err
+		}
+	}
+	if q := s.res.QueueLen(); q > s.Busiest {
+		s.Busiest = q
+	}
+	p := c.Task.Sim()
+	s.res.Acquire(p)
+	p.Advance(s.ServiceTime(n))
+	s.res.Release()
+	s.Ops++
+	return 0, nil
+}

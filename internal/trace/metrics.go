@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 
@@ -31,13 +32,28 @@ func newRegistry() *Registry {
 
 // Hist is a log2-bucketed histogram of virtual durations: bucket k counts
 // samples with 2^(k-1) ns <= d < 2^k ns (bucket 0 counts d <= 0). Power-of-
-// two buckets keep the histogram allocation-free after creation and make the
-// dump trivially deterministic.
+// two buckets keep the histogram cheap and make the dump trivially
+// deterministic.
+//
+// Up to HistSampleCap raw observations are additionally retained verbatim,
+// so quantiles of small runs are exact. Past the cap the reservoir is
+// released and quantiles degrade to the log2 bucket upper bound — still
+// fully deterministic (no random sampling anywhere), just coarser.
 type Hist struct {
 	Buckets [64]uint64
 	Count   uint64
 	Sum     sim.Duration
+
+	samples []sim.Duration
+	spilled bool
 }
+
+// HistSampleCap is the number of raw observations a Hist retains for exact
+// quantile extraction before falling back to bucket-resolution quantiles.
+const HistSampleCap = 8192
+
+// Observe records one duration sample.
+func (h *Hist) Observe(d sim.Duration) { h.observe(d) }
 
 func (h *Hist) observe(d sim.Duration) {
 	k := 0
@@ -47,6 +63,53 @@ func (h *Hist) observe(d sim.Duration) {
 	h.Buckets[k]++
 	h.Count++
 	h.Sum += d
+	if !h.spilled {
+		if len(h.samples) < HistSampleCap {
+			h.samples = append(h.samples, d)
+		} else {
+			h.spilled = true
+			h.samples = nil
+		}
+	}
+}
+
+// Exact reports whether every observation is still retained verbatim, i.e.
+// Quantile returns exact order statistics rather than bucket upper bounds.
+func (h *Hist) Exact() bool { return h != nil && !h.spilled }
+
+// Quantile returns the q-quantile (0 < q <= 1) of the observed durations
+// using the nearest-rank definition: the sample of rank ceil(q*Count).
+// While the histogram holds at most HistSampleCap observations the result
+// is the exact order statistic; beyond that it is the inclusive upper bound
+// (2^k - 1) of the log2 bucket containing that rank. Returns 0 when empty.
+func (h *Hist) Quantile(q float64) sim.Duration {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	r := uint64(math.Ceil(q * float64(h.Count)))
+	if r < 1 {
+		r = 1
+	}
+	if r > h.Count {
+		r = h.Count
+	}
+	if !h.spilled {
+		sorted := make([]sim.Duration, len(h.samples))
+		copy(sorted, h.samples)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return sorted[r-1]
+	}
+	var cum uint64
+	for k, c := range h.Buckets {
+		cum += c
+		if cum >= r {
+			if k == 0 {
+				return 0
+			}
+			return sim.Duration(uint64(1)<<uint(k) - 1)
+		}
+	}
+	return 0 // unreachable: cum reaches Count >= r
 }
 
 // Mean returns the mean observed duration (0 when empty).
@@ -57,8 +120,8 @@ func (h *Hist) Mean() sim.Duration {
 	return h.Sum / sim.Duration(h.Count)
 }
 
-func (r *Registry) add(name string, n uint64)            { r.counters[name] += n }
-func (r *Registry) set(name string, v uint64)            { r.gauges[name] = v }
+func (r *Registry) add(name string, n uint64) { r.counters[name] += n }
+func (r *Registry) set(name string, v uint64) { r.gauges[name] = v }
 func (r *Registry) observe(name string, d sim.Duration) {
 	h := r.hists[name]
 	if h == nil {
@@ -122,6 +185,11 @@ func (r *Registry) Dump(w io.Writer) error {
 		h := r.hists[name]
 		if _, err := fmt.Fprintf(w, "hist %s count=%d sum=%dns mean=%dns\n",
 			name, h.Count, int64(h.Sum), int64(h.Mean())); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "hist %s p50=%dns p95=%dns p99=%dns p999=%dns\n",
+			name, int64(h.Quantile(0.50)), int64(h.Quantile(0.95)),
+			int64(h.Quantile(0.99)), int64(h.Quantile(0.999))); err != nil {
 			return err
 		}
 		for k, c := range h.Buckets {

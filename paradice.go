@@ -151,6 +151,13 @@ type Config struct {
 	// hit the hypervisor's cached vector instead of re-scanning the shared
 	// page. Off by default.
 	GrantBatch bool
+	// Admission maps a QoS class (kernel.Task.QoS) to the CVD ring occupancy
+	// at which that class stops being admitted: once a device's ring holds
+	// that many in-flight requests, further requests from the class fail
+	// fast with EAGAIN instead of queueing. Classes absent from the map are
+	// admitted until the ring is full (EBUSY). Applied to every frontend a
+	// guest paravirtualizes. nil disables admission control (the default).
+	Admission map[uint8]int
 }
 
 func (c Config) withDefaults() Config {
