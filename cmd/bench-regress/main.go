@@ -1,7 +1,7 @@
 // Command bench-regress guards the perf trajectory: it compares a fresh
 // `paradice-bench -json` run against the committed baseline
-// (BENCH_5.json, BENCH_6.json) and fails when a guarded row drifted past
-// its tolerance in the bad direction.
+// (BENCH_5.json, BENCH_6.json, BENCH_7.json) and fails when a guarded row
+// drifted past its tolerance in the bad direction.
 //
 // Guarded rows are the ones the evaluation hangs on:
 //
@@ -14,7 +14,12 @@
 //   - the tail experiment's max-sustained-throughput row — HIGHER is
 //     better, so it fails on downward drift (tolerance 5%: the sweep is
 //     quantized to the swept rates, so any real capacity loss shows up as
-//     a whole-level drop, far beyond 5%).
+//     a whole-level drop, far beyond 5%);
+//   - the handover experiment's contract rows — "failed"/handover (baseline
+//     exactly 0, so any loss reads as 100% drift and fails), the handover
+//     downtime (lower is better), and the queued-replay and warm-state
+//     counters (higher is better: dropping toward zero means the successor
+//     came up cold or parked posts were lost).
 //
 // The simulation is deterministic, so the expected drift is exactly zero —
 // the tolerances exist so an intentional cost-model recalibration shows up
@@ -74,6 +79,22 @@ func ruleFor(id string, r row) (rule, bool) {
 			return rule{}, true
 		}
 		if r.Series == "max-sustained" {
+			return rule{tol: 5, higherIsBetter: true}, true
+		}
+	case "handover":
+		// The planned handover's contract rows. "failed"/handover has a
+		// baseline of exactly 0, so ANY nonzero current value reports as
+		// 100% drift and fails — zero-loss is a hard gate, not a tolerance.
+		// Downtime (the ring pause) gates like a latency; the warm/replay
+		// counters gate downward (a warm-transfer regression shows up as
+		// these dropping toward zero, which reads as cold successor state).
+		if r.Series == "failed" && r.X == "handover" {
+			return rule{}, true
+		}
+		if r.Series == "downtime" && r.X == "handover" {
+			return rule{}, true
+		}
+		if r.Series == "warm map hits" || r.Series == "queued-replayed" || r.Series == "warm reopens" {
 			return rule{tol: 5, higherIsBetter: true}, true
 		}
 	}

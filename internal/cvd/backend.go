@@ -112,6 +112,15 @@ type Backend struct {
 	// the foreground guest only.
 	notifyGate func() bool
 
+	// warmFiles/warmVMAs carry the predecessor's open-file table across a
+	// planned handover: fileIDs the guest still holds but the successor's
+	// driver has never seen. The successor re-opens them lazily — the first
+	// forwarded operation naming a warm fileID replays open (and the file's
+	// mmaps) against the real driver in that operation's own handler context,
+	// so the guest never observes EINVAL for a file it legitimately holds.
+	warmFiles map[uint16]warmFile
+	warmVMAs  map[uint16][]warmVMA
+
 	// Stats observable by tests and the bench harness.
 	OpsHandled    uint64
 	NotifsSent    uint64
@@ -120,6 +129,7 @@ type Backend struct {
 	PolledPosts   uint64 // posts observed while spinning
 	HbAcked       uint64 // watchdog heartbeats echoed
 	HbDropped     uint64 // heartbeat acks swallowed by fault injection
+	WarmReopens   uint64 // predecessor files lazily re-opened after a handover
 }
 
 // SetNotifyGate installs a predicate consulted before notifications are
@@ -204,6 +214,17 @@ func newBackend(h *hv.Hypervisor, driverVM, guestVM *hv.VM, driverK *kernel.Kern
 	if err != nil {
 		return nil, err
 	}
+	return newBackendWith(proc, h, driverVM, guestVM, driverK, node,
+		ringGPA, mode, window, vecToBackend, vecResp, vecNotif), nil
+}
+
+// newBackendWith builds a backend around an already-created kernel process —
+// the infallible half of newBackend. A planned handover pre-allocates the
+// process during prepare so its commit, which runs after the ring's epoch
+// word has been bumped past the predecessor, has no failure path left.
+func newBackendWith(proc *kernel.Process, h *hv.Hypervisor, driverVM, guestVM *hv.VM,
+	driverK *kernel.Kernel, node *kernel.DeviceNode, ringGPA mem.GuestPhys,
+	mode Mode, window sim.Duration, vecToBackend, vecResp, vecNotif int) *Backend {
 	b := &Backend{
 		hv:       h,
 		driverVM: driverVM,
@@ -238,7 +259,7 @@ func newBackend(h *hv.Hypervisor, driverVM, guestVM *hv.VM, driverK *kernel.Kern
 		b.doorbell.Trigger()
 	})
 	driverK.Env.Spawn("cvd-dispatch-"+guestVM.Name, b.dispatch)
-	return b, nil
+	return b
 }
 
 // Proc returns the backend's kernel process — the identity under which all
@@ -542,6 +563,18 @@ func (b *Backend) execute(task *kernel.Task, req request) (int32, kernel.Errno) 
 	case opRelease:
 		f, ok := b.files[req.fileID]
 		if !ok {
+			if _, warm := b.warmFiles[req.fileID]; warm {
+				// A file the predecessor held, released before any other
+				// operation forced a warm reopen on the successor. Re-opening
+				// it just to close it again would be wasted driver work: drop
+				// the warm records and report success.
+				delete(b.warmFiles, req.fileID)
+				delete(b.warmVMAs, req.fileID)
+				if b.mapc != nil {
+					b.mapc.release(req.fileID)
+				}
+				return 0, 0
+			}
 			return -1, kernel.EINVAL
 		}
 		delete(b.files, req.fileID)
@@ -552,7 +585,7 @@ func (b *Backend) execute(task *kernel.Task, req request) (int32, kernel.Errno) 
 		}
 		return 0, toErrno(ops.Release(&kernel.FopCtx{Task: task, File: f}))
 	}
-	f, ok := b.files[req.fileID]
+	f, ok := b.lookupFile(task, req.fileID)
 	if !ok {
 		return -1, kernel.EINVAL
 	}
@@ -624,4 +657,48 @@ func (b *Backend) execute(task *kernel.Task, req request) (int32, kernel.Errno) 
 		return 0, 0
 	}
 	return -1, kernel.ENOSYS
+}
+
+// lookupFile resolves a forwarded operation's fileID against the backend's
+// open-file table, lazily re-opening a file inherited from a handover
+// predecessor. The reopen runs in the calling operation's own handler-task
+// context, so its driver work is charged to (and traced under) the request
+// that forced it. A reopen failure surfaces as an unknown fileID — EINVAL,
+// the same honest errno a stale fileID has always earned.
+func (b *Backend) lookupFile(task *kernel.Task, fileID uint16) (*kernel.File, bool) {
+	if f, ok := b.files[fileID]; ok {
+		return f, true
+	}
+	wf, ok := b.warmFiles[fileID]
+	if !ok {
+		return nil, false
+	}
+	delete(b.warmFiles, fileID)
+	ops := b.node.Ops
+	f := &kernel.File{Node: b.node, Flags: wf.flags, Proc: b.proc}
+	if err := ops.Open(&kernel.FopCtx{Task: task, File: f}); err != nil {
+		delete(b.warmVMAs, fileID)
+		return nil, false
+	}
+	f.FasyncOn = wf.fasync
+	b.files[fileID] = f
+	// Replay the predecessor's mmaps so a post-handover munmap/fault against
+	// an inherited mapping finds its VMA. EPT entries are rebuilt on demand
+	// by the fault path, exactly as after a guest-side first touch.
+	for _, wv := range b.warmVMAs[fileID] {
+		v := &kernel.VMA{Proc: b.proc, Start: wv.start, Len: wv.len, File: f, Pgoff: wv.pgoff}
+		if err := ops.Mmap(&kernel.FopCtx{Task: task, File: f}, v); err != nil {
+			continue
+		}
+		m := b.vmas[fileID]
+		if m == nil {
+			m = make(map[mem.GuestVirt]*kernel.VMA)
+			b.vmas[fileID] = m
+		}
+		m[v.Start] = v
+	}
+	delete(b.warmVMAs, fileID)
+	b.WarmReopens++
+	trace.Get(b.driverK.Env).Add("cvd.handover.warm_reopens", 1)
+	return f, true
 }

@@ -169,6 +169,7 @@ func Connect(cfg Config) (*Frontend, *Backend, error) {
 		coalesce:     cfg.CoalesceWindow,
 		grantBatch:   cfg.GrantBatch,
 		hbEvent:      cfg.HV.Env.NewEvent("cvd-hb-" + cfg.GuestPath),
+		drainEvent:   cfg.HV.Env.NewEvent("cvd-drain-" + cfg.GuestPath),
 		path:         cfg.GuestPath,
 		vm:           cfg.GuestVM.Name,
 		m:            newFeMetricNames(cfg.GuestPath),

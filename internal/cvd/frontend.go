@@ -55,6 +55,19 @@ type Frontend struct {
 	// terminal state). Cleared by a successful driver-VM restart.
 	degraded bool
 
+	// Drain mode (planned driver-VM handover). While draining, in-flight
+	// slots complete on the current backend but NEW posts park at the
+	// frontend — queued on drainEvent, bounded by drainBound — instead of
+	// entering the ring or failing EREMOTE. EndDrain releases every parked
+	// post against whichever backend then owns the ring: the successor after
+	// a completed switch, the still-live predecessor after an abort. Either
+	// way nothing is lost. The draining flag is frontend-local (trusted);
+	// the hdrDrain header word mirrors it only as the cross-VM-visible
+	// signal, so hostile ring bytes cannot park or unpark anyone.
+	draining   bool
+	drainEvent *sim.Event
+	drainBound sim.Duration
+
 	// Bulk-transfer fast path (grant-map cache). When enabled, read/write
 	// data buffers of at least mapThreshold bytes get a long-lived bulk
 	// grant (one per file and direction) kept alive across requests, and the
@@ -109,6 +122,7 @@ type Frontend struct {
 	FastFailed     uint64 // requests refused outright (dead backend / degraded)
 	DoorbellIRQs   uint64 // doorbell inter-VM IRQs actually sent
 	CoalescedKicks uint64 // posts that shared a pending doorbell IRQ
+	QueuedPosts    uint64 // posts parked at the frontend during a drain
 
 	// path is the guest-visible device path; vm the guest kernel's name.
 	// m holds the per-path metric names, precomputed at Connect so the hot
@@ -123,7 +137,7 @@ type Frontend struct {
 // no string concatenation when on).
 type feMetricNames struct {
 	ops, bytes, rejected, throttled, timedOut, fastFailed string
-	lat                                                   string
+	queued, lat                                           string
 	errTimedOut, errNoDev, errRemote, errBusy, errAgain   string
 }
 
@@ -136,6 +150,7 @@ func newFeMetricNames(path string) feMetricNames {
 		throttled:   p + ".throttled",
 		timedOut:    p + ".timedout",
 		fastFailed:  p + ".fastfailed",
+		queued:      p + ".queued",
 		lat:         p + ".roundtrip",
 		errTimedOut: p + ".errno.ETIMEDOUT",
 		errNoDev:    p + ".errno.ENODEV",
@@ -277,6 +292,26 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 	rid := c.RID
 	start := tr.Now()
 	tr.Add(fe.m.ops, 1)
+	parked := false
+	if fe.draining {
+		// Planned handover in progress: park the post at the frontend until
+		// the switch completes (or the drain aborts back to the predecessor),
+		// then fall through to the normal path against whichever backend owns
+		// the ring by then. This is the zero-loss alternative to EREMOTE, so
+		// the park comes BEFORE the dead-backend check: a post arriving in
+		// the switch window must see the successor, not the torn-down
+		// predecessor. The wait is bounded in case an EndDrain is lost to a
+		// bug — never in a healthy handover, where EndDrain runs on every
+		// exit path.
+		parked = true
+		fe.QueuedPosts++
+		tr.Add(fe.m.queued, 1)
+		bound := fe.drainBound
+		if bound <= 0 {
+			bound = DefaultDrainBound
+		}
+		t.Sim().WaitTimeout(fe.drainEvent, bound)
+	}
 	if fe.degraded {
 		fe.FastFailed++
 		tr.Add(fe.m.fastFailed, 1)
@@ -289,7 +324,7 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 		tr.Add(fe.m.errRemote, 1)
 		return -1, kernel.EREMOTE
 	}
-	if lim, limited := fe.admission[t.QoS]; limited &&
+	if lim, limited := fe.admission[t.QoS]; limited && !parked &&
 		r.op != opOpen && r.op != opRelease && fe.Occupancy() >= lim {
 		// Admission control: this QoS class is not allowed to deepen the
 		// queue past its occupancy limit. EAGAIN tells an open-loop client
@@ -304,6 +339,17 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 		return -1, kernel.EAGAIN
 	}
 	slot, ok := fe.allocSlot()
+	if !ok && parked {
+		// A replayed burst of parked posts can momentarily exceed the ring's
+		// 100 slots. A parked post was promised zero loss, so it retries for
+		// a bounded while instead of turning the planned handover into EBUSY
+		// for its issuer; the burst drains at the device's service rate. The
+		// unparked path below is untouched (the §5.1 DoS cap).
+		for i := 0; i < drainRetrySlots && !ok; i++ {
+			t.Sim().Sleep(drainRetryGap)
+			slot, ok = fe.allocSlot()
+		}
+	}
 	if !ok {
 		// All 100 queue slots in use: the DoS cap of §5.1.
 		fe.Rejected++
@@ -421,6 +467,42 @@ func (fe *Frontend) Occupancy() int {
 	}
 	return n
 }
+
+// Drain-mode constants: the defensive bound on a parked post's wait (the
+// handover engine always EndDrains far sooner), and the polite retry loop a
+// parked post runs when the replay burst momentarily fills the ring.
+const (
+	// DefaultDrainBound caps a parked post's wait when BeginDrain was given
+	// no bound. Generous: it only matters if an EndDrain is lost to a bug.
+	DefaultDrainBound = 250 * sim.Millisecond
+	drainRetrySlots   = 400
+	drainRetryGap     = 5 * sim.Microsecond
+)
+
+// BeginDrain enters drain mode for a planned handover: in-flight slots keep
+// completing on the current backend, while new posts park at the frontend
+// (bounded by bound; <=0 selects DefaultDrainBound) until EndDrain. The
+// hdrDrain ring word is raised as the cross-VM-visible signal; behavior is
+// driven by the frontend-local flag, so hostile ring bytes are inert.
+func (fe *Frontend) BeginDrain(bound sim.Duration) {
+	fe.draining = true
+	fe.drainBound = bound
+	fe.drainEvent.Reset()
+	fe.ring.writeU32(hdrDrain, 1)
+}
+
+// EndDrain leaves drain mode and releases every parked post. Runs on every
+// exit of a handover — after the switch commits (parked posts replay against
+// the successor) and after an abort (they proceed against the still-live
+// predecessor).
+func (fe *Frontend) EndDrain() {
+	fe.draining = false
+	fe.ring.writeU32(hdrDrain, 0)
+	fe.drainEvent.Trigger()
+}
+
+// Draining reports whether the frontend is parking new posts.
+func (fe *Frontend) Draining() bool { return fe.draining }
 
 // SetDegraded enters or leaves degraded mode: every subsequent operation
 // fails immediately with ENODEV. The supervisor degrades a device when its

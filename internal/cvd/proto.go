@@ -54,6 +54,7 @@ const (
 	hdrHbReq        = 16 // u32: watchdog heartbeat sequence (frontend side)
 	hdrHbAck        = 20 // u32: last heartbeat sequence the backend echoed
 	hdrEpoch        = 24 // u32: restart epoch of the backend owning the ring
+	hdrDrain        = 28 // u32: planned handover in progress; new posts park
 	hdrSize         = 96
 
 	slotSize  = 40

@@ -45,6 +45,18 @@
 //	machine.restart.fail driver VM restart: the replacement driver VM fails
 //	                     to boot; the machine is untouched and the supervisor
 //	                     charges the attempt against its backoff budget.
+//	machine.handover.fail
+//	                     planned handover: the attempt is refused before the
+//	                     successor boots; the machine is untouched.
+//	handover.warm.fail   planned handover: a channel's successor pre-warm
+//	                     (device re-probe / cache transfer) fails during the
+//	                     switch stage; the handover aborts back to the
+//	                     still-live predecessor.
+//	handover.drain.timeout
+//	                     planned handover: the quiesce stage gives up
+//	                     immediately, as if in-flight operations never
+//	                     finished draining; the handover aborts and parked
+//	                     posts proceed against the predecessor.
 //	iommu.translate      IOMMU: a device DMA access faults.
 //	driver.evil          test drivers: attempt an undeclared memory
 //	                     operation (the compromised-driver probe the stress

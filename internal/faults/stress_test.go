@@ -37,6 +37,7 @@ import (
 	"paradice/internal/cvd"
 	"paradice/internal/devfile"
 	"paradice/internal/faults"
+	"paradice/internal/handover"
 	"paradice/internal/hv"
 	"paradice/internal/kernel"
 	"paradice/internal/load"
@@ -53,6 +54,7 @@ var (
 	stressFastpath   = flag.Bool("stress.fastpath", false, "run every seed with the bulk-transfer fast path armed (default: every 4th seed)")
 	stressWalkcache  = flag.Bool("stress.walkcache", false, "run every seed with the software TLB and batched grant hypercalls armed (default: every 4th seed)")
 	stressOpenloop   = flag.Bool("stress.openloop", false, "run every seed with the open-loop load generator armed (default: every 4th seed)")
+	stressHandover   = flag.Bool("stress.handover", false, "perform a planned driver-VM handover mid-run on every 4th seed (dormant unless set)")
 )
 
 const (
@@ -327,6 +329,16 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	// outcome the clients observe must still be an honest errno.
 	openloop := !weaken && (*stressOpenloop || seed%4 == 0)
 
+	// With -stress.handover, every 4th seed — the open-loop residue, so the
+	// quiesce stage drains a ring that the generator keeps refilling —
+	// additionally performs a planned driver-VM handover mid-run, with the
+	// handover's own fault points armed so the sweep exercises every abort
+	// path. Dormant unless the flag is set, so the default sweep (and its
+	// byte-identical trace exports) is untouched. Supervised seeds skip it:
+	// the harness-level handover and the supervisor would be two lifecycle
+	// managers fighting over one channel.
+	handoverArmed := !weaken && !supervised && *stressHandover && seed%4 == 0
+
 	h := hv.New(env, 64<<20)
 	driverVM, err := h.CreateVM("driver", vmRAM)
 	if err != nil {
@@ -451,6 +463,14 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 			plan.Probability("cvd.heartbeat.drop", 0.02)
 			plan.Probability("machine.restart.fail", 0.1)
 		}
+		if handoverArmed {
+			// Handover seeds arm every abort path of the planned migration;
+			// each abort must leave the predecessor serving (the liveness and
+			// canary invariants below then apply to it unchanged).
+			plan.Probability("machine.handover.fail", 0.1)
+			plan.Probability("handover.drain.timeout", 0.1)
+			plan.Probability("handover.warm.fail", 0.1)
+		}
 	}
 	faults.Install(env, plan)
 	defer faults.Uninstall(env)
@@ -466,6 +486,67 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 			BackoffCap:     8 * sim.Millisecond,
 			MaxRestarts:    3,
 			StableAfter:    20 * sim.Millisecond,
+		})
+	}
+
+	// The planned-handover arm: a proc kicks a cvd-level handover of the
+	// stress channel at 3 ms — squarely inside the fault window and the
+	// open-loop arrival window — through the same staged engine the Machine
+	// uses. liveBE tracks the serving backend across the switch so phase 2's
+	// manual recovery stops the right one.
+	liveBE := be
+	var hoDrivers []*stressDriver
+	var hoEp handover.Episode
+	var hoErr error
+	hoRan := false
+	if handoverArmed {
+		env.Spawn("stress-handover", func(p *sim.Proc) {
+			p.Sleep(3 * sim.Millisecond)
+			var succVM *hv.VM
+			var succK *kernel.Kernel
+			var prep *cvd.HandoverPrep
+			hoEp, hoErr = handover.Run(env, handover.Config{DrainDeadline: 2 * sim.Millisecond}, handover.Hooks{
+				Prepare: func() error {
+					vm, err := h.CreateVM(fmt.Sprintf("driver-h%d", seed), vmRAM)
+					if err != nil {
+						return err
+					}
+					k := kernel.New(vm.Name, kernel.Linux, env, vm.Space, vm.RAM)
+					d2, err := newStressDriver(k, canaryVA)
+					if err != nil {
+						return err
+					}
+					hoDrivers = append(hoDrivers, d2)
+					succVM, succK = vm, k
+					return nil
+				},
+				BeginDrain: func() { fe.BeginDrain(10 * sim.Millisecond) },
+				DrainIdle:  func() bool { return fe.Occupancy() == 0 },
+				EndDrain:   func() { fe.EndDrain() },
+				Switch: func() error {
+					pr, err := cvd.PrepareHandover(fe, h, succVM, succK)
+					if err != nil {
+						return err
+					}
+					prep = pr
+					pred := liveBE
+					be2, err := cvd.CompleteHandover(fe, prep, succVM, succK, stressPath)
+					if err != nil {
+						return err
+					}
+					liveBE = be2
+					if pred != nil {
+						pred.Stop()
+					}
+					return nil
+				},
+				Abort: func(stage handover.Stage, cause string) {
+					if prep != nil {
+						prep.Discard()
+					}
+				},
+			})
+			hoRan = true
 		})
 	}
 
@@ -594,7 +675,7 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	if !allDone() || (gen != nil && !gen.Done()) {
 		faults.Uninstall(env)
 		if !allDone() {
-			cur := be
+			cur := liveBE // a committed handover may have replaced the backend
 			if st != nil {
 				cur = st.be // the supervisor may have replaced the backend
 			}
@@ -650,6 +731,18 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 			return fmt.Errorf("invariant: open-loop generator scheduled no arrivals (%v)", plan)
 		}
 	}
+	// Invariant: handover honesty. The episode log must agree with the
+	// returned error — a "successful" handover that did not reach StageDone
+	// (or an abort that claims it committed) means the engine lost track of
+	// which driver VM owns the channel.
+	if hoRan {
+		if hoErr == nil && (hoEp.Aborted || hoEp.Stage != handover.StageDone) {
+			return fmt.Errorf("invariant: handover returned nil but episode %+v (%v)", hoEp, plan)
+		}
+		if hoErr != nil && !hoEp.Aborted {
+			return fmt.Errorf("invariant: handover failed (%v) but episode not aborted: %+v (%v)", hoErr, hoEp, plan)
+		}
+	}
 	// Invariant: honest errnos only.
 	for i, v := range violations {
 		if v != nil {
@@ -663,6 +756,11 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	evilAllowed, evilDenied := drv.evilAllowed, drv.evilDenied
 	if st != nil {
 		evilAllowed, evilDenied = st.evilTotals()
+	}
+	for _, d := range hoDrivers {
+		// Handover-successor drivers face the same evil-copy probe.
+		evilAllowed += d.evilAllowed
+		evilDenied += d.evilDenied
 	}
 	got := make([]byte, len(canary))
 	if err := app.Mem.Read(canaryVA, got); err != nil {

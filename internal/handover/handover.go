@@ -1,0 +1,212 @@
+// Package handover implements the staged state machine of a planned
+// driver-VM handover (ROADMAP item 4c): the production alternative to §8's
+// crash-style RestartDriverVM. A restart fails every in-flight request with
+// EREMOTE and cold-starts every cache; a handover boots the successor
+// side-by-side (prepare), lets in-flight work finish while new posts park at
+// the frontends (quiesce), atomically rebinds the channels (switch), and on
+// any stage failure rolls back to the still-live predecessor (abort).
+//
+// The package is mechanism-only: it owns the staging, the drain deadline,
+// the fault points, the trace/counter emission, and the episode record. What
+// each stage actually does is supplied through Hooks — the Paradice machine
+// wires them to successor boot, CVD drain mode, and channel rebinding, and
+// the faults stress harness wires a bare single-channel rig to the same
+// engine.
+package handover
+
+import (
+	"errors"
+	"fmt"
+
+	"paradice/internal/faults"
+	"paradice/internal/sim"
+	"paradice/internal/trace"
+)
+
+// Stage identifies where in the handover state machine an episode is (or
+// where it died).
+type Stage int
+
+// Handover stages, in order.
+const (
+	StagePrepare Stage = iota // successor booting and pre-warming
+	StageQuiesce              // frontends draining; in-flight work finishing
+	StageSwitch               // channels rebinding to the successor
+	StageDone                 // committed
+)
+
+func (s Stage) String() string {
+	switch s {
+	case StagePrepare:
+		return "prepare"
+	case StageQuiesce:
+		return "quiesce"
+	case StageSwitch:
+		return "switch"
+	case StageDone:
+		return "done"
+	}
+	return "?"
+}
+
+// Sentinel errors distinguishing which stage failed. Returned errors wrap
+// these; the cause (injected fault, drain deadline, hook error) rides in the
+// message.
+var (
+	ErrPrepare      = errors.New("handover: prepare failed")
+	ErrDrainTimeout = errors.New("handover: drain deadline exceeded")
+	ErrSwitch       = errors.New("handover: switch failed")
+)
+
+// Config tunes one handover run.
+type Config struct {
+	// DrainDeadline bounds the quiesce stage: if in-flight operations have
+	// not finished this long after BeginDrain, the handover aborts back to
+	// the predecessor rather than hold new posts parked indefinitely. Zero
+	// selects DefaultDrainDeadline.
+	DrainDeadline sim.Duration
+	// DrainQuantum is how often the quiesce stage re-checks for idleness.
+	// Zero selects DefaultDrainQuantum.
+	DrainQuantum sim.Duration
+}
+
+// Defaults for Config's zero values. The deadline comfortably covers any
+// request a healthy backend will answer (the supervision-era request deadline
+// is shorter); only a wedged predecessor — which should be restarted, not
+// handed over — runs into it.
+const (
+	DefaultDrainDeadline = 2 * sim.Millisecond
+	DefaultDrainQuantum  = 20 * sim.Microsecond
+)
+
+// Hooks are the stage implementations the engine drives. BeginDrain,
+// EndDrain, and Abort must not fail; Prepare and Switch may. EndDrain is
+// guaranteed to run exactly once after BeginDrain on every exit path —
+// commit, drain timeout, and switch failure alike — so parked posts are
+// always released, toward whichever backend owns the ring by then.
+type Hooks struct {
+	// Prepare boots and pre-warms the successor, predecessor untouched.
+	Prepare func() error
+	// BeginDrain parks new posts at the frontends; in-flight work continues.
+	BeginDrain func()
+	// DrainIdle reports whether all in-flight work has completed.
+	DrainIdle func() bool
+	// EndDrain releases parked posts.
+	EndDrain func()
+	// Switch rebinds the channels to the successor and retires the
+	// predecessor. An error here means the predecessor was left intact.
+	Switch func() error
+	// Abort rolls back whatever the failed run built (discard successor
+	// preps). Called once per aborted episode, after EndDrain when the
+	// failure happened inside the drain window.
+	Abort func(stage Stage, cause string)
+}
+
+// Episode records one handover attempt for the state-change log and tests.
+type Episode struct {
+	Start, End sim.Time
+	Stage      Stage // StageDone, or the stage that aborted
+	Aborted    bool
+	Cause      string       // abort cause ("" when committed)
+	DrainWait  sim.Duration // BeginDrain until the ring went idle (or gave up)
+	Pause      sim.Duration // BeginDrain until EndDrain: the service pause ("downtime")
+}
+
+// Run executes one handover episode. It is driven from whatever context the
+// caller has: on a sim proc the quiesce stage sleeps between idleness checks;
+// in host context (tests driving the machine directly) it performs a single
+// check, since no simulated time can pass while it holds control.
+//
+// Fault points: "machine.handover.fail" aborts before prepare (the planned-
+// maintenance request itself is refused); "handover.drain.timeout" forces the
+// quiesce stage to give up immediately; "handover.warm.fail" is consulted by
+// the CVD prepare path and surfaces here as a Prepare error.
+func Run(env *sim.Env, cfg Config, h Hooks) (Episode, error) {
+	tr := trace.Get(env)
+	tr.Add("machine.handover.attempts", 1)
+	ep := Episode{Start: env.Now()}
+
+	if d := faults.Point(env, "machine.handover.fail"); d != nil {
+		return abort(env, ep, StagePrepare, h, fmt.Errorf("%w: %v", ErrPrepare, d.Error()))
+	}
+	if err := h.Prepare(); err != nil {
+		return abort(env, ep, StagePrepare, h, fmt.Errorf("%w: %v", ErrPrepare, err))
+	}
+
+	ep.Stage = StageQuiesce
+	drainStart := env.Now()
+	h.BeginDrain()
+	idle := waitIdle(env, cfg, h)
+	ep.DrainWait = env.Now().Sub(drainStart)
+	if !idle {
+		h.EndDrain()
+		ep.Pause = env.Now().Sub(drainStart)
+		return abort(env, ep, StageQuiesce, h, ErrDrainTimeout)
+	}
+
+	ep.Stage = StageSwitch
+	if err := h.Switch(); err != nil {
+		h.EndDrain()
+		ep.Pause = env.Now().Sub(drainStart)
+		return abort(env, ep, StageSwitch, h, fmt.Errorf("%w: %v", ErrSwitch, err))
+	}
+	h.EndDrain()
+
+	ep.Stage = StageDone
+	ep.End = env.Now()
+	ep.Pause = ep.End.Sub(drainStart)
+	tr.Add("machine.handover.completed", 1)
+	tr.Set("machine.handover.pause_ns", uint64(ep.Pause))
+	tr.Group(0, "driver-vm", trace.LayerSupervisor, "handover", ep.Start, ep.End)
+	return ep, nil
+}
+
+// waitIdle polls DrainIdle until it reports true or the deadline passes.
+// The "handover.drain.timeout" fault point, consulted once on entry, forces
+// an immediate give-up — the injected form of a predecessor that never goes
+// idle, without having to wedge a real backend.
+func waitIdle(env *sim.Env, cfg Config, h Hooks) bool {
+	if faults.Point(env, "handover.drain.timeout") != nil {
+		return false
+	}
+	deadline := cfg.DrainDeadline
+	if deadline <= 0 {
+		deadline = DefaultDrainDeadline
+	}
+	quantum := cfg.DrainQuantum
+	if quantum <= 0 {
+		quantum = DefaultDrainQuantum
+	}
+	p := env.CurrentProc()
+	if p == nil {
+		// Host context: no simulated time can pass while we hold control, so
+		// the ring is as idle now as it will ever be.
+		return h.DrainIdle()
+	}
+	limit := env.Now().Add(deadline)
+	for !h.DrainIdle() {
+		if env.Now() >= limit {
+			return false
+		}
+		p.Sleep(quantum)
+	}
+	return true
+}
+
+// abort finalizes a failed episode: the state-change consumers see the
+// counters and the trace instant, the caller's Abort hook unwinds whatever
+// the run built, and the episode records where and why.
+func abort(env *sim.Env, ep Episode, stage Stage, h Hooks, err error) (Episode, error) {
+	ep.Stage = stage
+	ep.Aborted = true
+	ep.Cause = err.Error()
+	ep.End = env.Now()
+	tr := trace.Get(env)
+	tr.Add("machine.handover.aborted", 1)
+	tr.Instant(0, "driver-vm", trace.LayerSupervisor, "handover-abort:"+stage.String(), ep.Cause)
+	tr.Group(0, "driver-vm", trace.LayerSupervisor, "handover-aborted", ep.Start, ep.End)
+	if h.Abort != nil {
+		h.Abort(stage, ep.Cause)
+	}
+	return ep, err
+}

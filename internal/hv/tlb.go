@@ -233,14 +233,27 @@ func (h *Hypervisor) EnableGrantCache(vm *VM, t *grant.Table) {
 // caches restart cold, exactly like the grant-map cache does.
 func (h *Hypervisor) FlushTranslationCaches() {
 	for _, vm := range h.vms {
-		if vm.tlb != nil {
-			if n := vm.tlb.flush(); n > 0 {
-				tr, _ := h.tracer()
-				tr.Add("hv.tlb.invalidate", uint64(n))
-			}
+		h.FlushVMTranslationCaches(vm)
+	}
+}
+
+// FlushVMTranslationCaches empties ONE VM's software TLB and grant-validation
+// cache. A planned handover calls this for the retiring predecessor driver VM
+// only: its address space is going away, but the guest VMs' caches — guest
+// page-table translations, grant vectors — describe guest state the handover
+// never touched, and keeping them warm is half the point of handing over
+// instead of restarting.
+func (h *Hypervisor) FlushVMTranslationCaches(vm *VM) {
+	if vm == nil {
+		return
+	}
+	if vm.tlb != nil {
+		if n := vm.tlb.flush(); n > 0 {
+			tr, _ := h.tracer()
+			tr.Add("hv.tlb.invalidate", uint64(n))
 		}
-		if vm.grantCache != nil {
-			vm.grantCache.flush()
-		}
+	}
+	if vm.grantCache != nil {
+		vm.grantCache.flush()
 	}
 }

@@ -60,6 +60,28 @@ func (s *Sink) Ioctl(c *kernel.FopCtx, cmd devfile.IoctlCmd, arg mem.GuestVirt) 
 			return 0, err
 		}
 	}
+	s.serve(c, n)
+	return 0, nil
+}
+
+// Write is the sink's bulk-data entry: same consume-and-serve semantics as
+// the ioctl, but reached through the file write path, so on a CVD channel
+// with the map cache enabled a large-enough payload rides the bulk-grant
+// fast path (reqFlagMapHint) instead of the per-request assisted copy. The
+// handover experiment uses it as the map-cache witness traffic.
+func (s *Sink) Write(c *kernel.FopCtx, src mem.GuestVirt, n int) (int, error) {
+	if n > 0 {
+		buf := make([]byte, n)
+		if err := kernel.CopyFromUser(c, src, buf); err != nil {
+			return 0, err
+		}
+	}
+	s.serve(c, n)
+	return n, nil
+}
+
+// serve holds the serial service unit for an n-byte payload's service time.
+func (s *Sink) serve(c *kernel.FopCtx, n int) {
 	if q := s.res.QueueLen(); q > s.Busiest {
 		s.Busiest = q
 	}
@@ -68,5 +90,4 @@ func (s *Sink) Ioctl(c *kernel.FopCtx, cmd devfile.IoctlCmd, arg mem.GuestVirt) 
 	p.Advance(s.ServiceTime(n))
 	s.res.Release()
 	s.Ops++
-	return 0, nil
 }

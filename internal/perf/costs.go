@@ -131,6 +131,14 @@ const (
 	// quantity — see the "Recovery" section of EXPERIMENTS.md.
 	CostDriverVMRestart = 100 * sim.Millisecond
 
+	// CostHandoverSwitch is the commit step of a planned driver-VM handover:
+	// re-binding every channel's ring to the pre-booted, pre-warmed successor
+	// and re-pointing device assignments. The boot itself (CostDriverVMRestart)
+	// was already paid during the prepare stage, while the predecessor was
+	// still serving — which is why a handover's service pause is this, not
+	// that.
+	CostHandoverSwitch = 100 * sim.Microsecond
+
 	// CostNetmapSync is the fixed kernel cost of one netmap TX-ring sync
 	// (the poll handler's ring scan and doorbell).
 	CostNetmapSync = 600 * sim.Nanosecond

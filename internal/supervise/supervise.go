@@ -167,6 +167,7 @@ type Supervisor struct {
 	restarts      int // consecutive attempts (the budget position)
 	lastRestartAt sim.Time
 	pendingReason string
+	pendingMaint  *maintenance
 	changes       []Change
 	stopped       bool
 
@@ -232,6 +233,31 @@ func (s *Supervisor) HandleProcPanic(pp *sim.ProcPanic) bool {
 	return true
 }
 
+// maintenance is one queued planned-maintenance request.
+type maintenance struct {
+	reason string
+	fn     func(p *sim.Proc) error
+}
+
+// RequestMaintenance queues a planned-maintenance action — a driver-VM
+// handover, typically — to run on the watchdog proc before its next sweep.
+// Running there, rather than on the caller's context, means the action's
+// virtual-time cost (successor boot, drain wait) is serialized with the
+// heartbeat sweeps: the watchdog cannot declare the driver VM dead for
+// missing beats the maintenance itself is sitting on. The outcome lands in
+// the state-change log as an entry in the CURRENT state ("maintenance: ..."
+// on success, "maintenance failed: ..." on error) so the restart/MTTR
+// statistics are untouched by planned work. Returns false if the supervisor
+// has stopped or a maintenance request is already queued.
+func (s *Supervisor) RequestMaintenance(reason string, fn func(p *sim.Proc) error) bool {
+	if s.stopped || s.state == StateDegraded || s.pendingMaint != nil {
+		return false
+	}
+	s.pendingMaint = &maintenance{reason: reason, fn: fn}
+	s.kick.Trigger()
+	return true
+}
+
 // noteFailure records an asynchronous failure signal and wakes the watchdog
 // immediately instead of waiting out the rest of the heartbeat period.
 func (s *Supervisor) noteFailure(reason string) {
@@ -293,11 +319,22 @@ func (s *Supervisor) run(p *sim.Proc) {
 			return
 		}
 		s.kick.Reset()
-		if s.pendingReason == "" {
+		if s.pendingReason == "" && s.pendingMaint == nil {
 			p.WaitTimeout(s.kick, s.cfg.HeartbeatEvery)
 		}
 		if s.stopped {
 			return
+		}
+		if mnt := s.pendingMaint; mnt != nil {
+			s.pendingMaint = nil
+			if err := mnt.fn(p); err != nil {
+				s.setState(s.state, "maintenance failed: "+mnt.reason+": "+err.Error())
+			} else {
+				s.setState(s.state, "maintenance: "+mnt.reason)
+			}
+			// Fall through to a normal sweep: whatever the maintenance left
+			// behind — a successor's channels, or the rolled-back predecessor
+			// — must answer heartbeats right now.
 		}
 		reason := s.pendingReason
 		s.pendingReason = ""

@@ -28,6 +28,7 @@ import (
 	"paradice/internal/driver/netmapdrv"
 	"paradice/internal/driver/pcm"
 	"paradice/internal/driver/uvc"
+	"paradice/internal/handover"
 	"paradice/internal/hv"
 	"paradice/internal/ioctlan"
 	"paradice/internal/iommu"
@@ -158,6 +159,11 @@ type Config struct {
 	// admitted until the ring is full (EBUSY). Applied to every frontend a
 	// guest paravirtualizes. nil disables admission control (the default).
 	Admission map[uint8]int
+	// HandoverDrain bounds the quiesce stage of a planned driver-VM handover
+	// (HandoverDriverVM): if in-flight operations have not completed this
+	// long after the frontends enter drain mode, the handover aborts back to
+	// the still-live predecessor. Zero selects handover.DefaultDrainDeadline.
+	HandoverDrain sim.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -228,6 +234,12 @@ type Machine struct {
 	restarting   bool
 	restartEpoch uint64
 	supervisor   *supervise.Supervisor
+	// handovers is the machine's planned-handover episode log (committed and
+	// aborted alike), in order.
+	handovers []handover.Episode
+	// onDriverBoot hooks run against every freshly booted driver kernel
+	// (construction, restart replacement, handover successor).
+	onDriverBoot []func(*kernel.Kernel) error
 }
 
 // vramBase is where the GPU aperture sits in system-physical space, clear
@@ -309,17 +321,65 @@ func build(kind Kind, cfg Config) (*Machine, error) {
 // and attaches the drivers. Called at machine construction and again by
 // RestartDriverVM.
 func (m *Machine) bootDriverVM() error {
-	drvVM, err := m.HV.CreateVM("driver", m.cfg.DriverRAM)
+	drvVM, drvK, err := m.newDriverVM()
 	if err != nil {
 		return err
+	}
+	m.DriverVM, m.DriverK = drvVM, drvK
+	if err := m.attachDrivers(drvVM, drvK); err != nil {
+		return err
+	}
+	return m.runDriverBootHooks(drvK)
+}
+
+// OnDriverVMBoot registers fn to run against the driver kernel of every
+// driver VM this machine boots from now on — restart replacements and
+// handover successors alike — and runs it against the current driver kernel
+// immediately. Harnesses use it to install auxiliary devices (e.g. the load
+// sink) that must exist in every driver-VM generation, or a Reconnect after
+// a restart (and a CompleteHandover during a handover) cannot find the
+// device in the replacement kernel.
+func (m *Machine) OnDriverVMBoot(fn func(*kernel.Kernel) error) error {
+	if m.Kind != KindParadice {
+		return ErrNoDriverVM
+	}
+	m.onDriverBoot = append(m.onDriverBoot, fn)
+	return fn(m.DriverK)
+}
+
+// runDriverBootHooks replays the registered OnDriverVMBoot hooks against a
+// freshly booted driver kernel.
+func (m *Machine) runDriverBootHooks(k *kernel.Kernel) error {
+	for _, fn := range m.onDriverBoot {
+		if err := fn(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newDriverVM boots a driver VM and kernel WITHOUT attaching any device to
+// it. A planned handover calls this during its prepare stage: the successor
+// boots side-by-side while the predecessor — still the machine's DriverVM,
+// still owning every device — keeps serving.
+func (m *Machine) newDriverVM() (*hv.VM, *kernel.Kernel, error) {
+	drvVM, err := m.HV.CreateVM("driver", m.cfg.DriverRAM)
+	if err != nil {
+		return nil, nil, err
 	}
 	drvK := kernel.New("driver", kernel.Linux, m.Env, drvVM.Space, m.cfg.DriverRAM)
 	if m.Kind != KindNative {
 		// Threads in a VM pay the vCPU-kick penalty on wake-ups.
 		drvK.WakePenalty = perf.CostVMExitIRQ
 	}
-	m.DriverVM, m.DriverK = drvVM, drvK
+	return drvVM, drvK, nil
+}
 
+// attachDrivers assigns every device to the given driver VM and attaches the
+// drivers, replacing the machine's driver handles. From this point the
+// devices interrupt into drvVM and DMA through its domains — the previous
+// driver VM, if any, no longer serves them.
+func (m *Machine) attachDrivers(drvVM *hv.VM, drvK *kernel.Kernel) error {
 	// irqFor wires a device interrupt to a driver-VM ISR with the
 	// platform's delivery latency.
 	irqFor := func(isr func()) func() {

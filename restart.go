@@ -1,11 +1,32 @@
 package paradice
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"paradice/internal/cvd"
 	"paradice/internal/faults"
 	"paradice/internal/perf"
+)
+
+// Sentinel errors for driver-VM lifecycle failures (restart and handover).
+// Callers match with errors.Is; the formatted returns below wrap these with
+// the same messages the string-only errors used to carry.
+var (
+	// ErrNoDriverVM: the machine is a baseline (native / device-assign) and
+	// has no driver VM to restart or hand over.
+	ErrNoDriverVM = errors.New("paradice: only a Paradice machine has a driver VM to restart")
+	// ErrDataIsolationRestart: restart/handover with device data isolation
+	// enabled is not supported (the hypervisor's protected-region state would
+	// need migrating to the new driver VM's EPT).
+	ErrDataIsolationRestart = errors.New("paradice: driver VM restart with data isolation is not supported")
+	// ErrRestartInProgress: another restart or handover holds the machine's
+	// lifecycle lock.
+	ErrRestartInProgress = errors.New("paradice: driver VM restart already in progress")
+	// ErrRestartFailed: the replacement driver VM failed to come up (includes
+	// the injected "machine.restart.fail" fault). The machine is untouched.
+	ErrRestartFailed = errors.New("paradice: driver VM restart failed")
 )
 
 // RestartDriverVM implements the recovery path §8 sketches for a device
@@ -34,21 +55,15 @@ import (
 // hypervisor's protected-region state would need to be migrated to the new
 // driver VM's EPT; the paper leaves recovery as future work altogether).
 func (m *Machine) RestartDriverVM() error {
-	if m.Kind != KindParadice {
-		return fmt.Errorf("paradice: only a Paradice machine has a driver VM to restart")
-	}
-	if m.cfg.DataIsolation {
-		return fmt.Errorf("paradice: driver VM restart with data isolation is not supported")
-	}
-	if m.restarting {
-		return fmt.Errorf("paradice: driver VM restart already in progress (epoch %d)", m.restartEpoch)
+	if err := m.lifecycleGuards(); err != nil {
+		return err
 	}
 	if d := faults.Point(m.Env, "machine.restart.fail"); d != nil {
 		// Injected restart-time failure: the replacement driver VM fails to
 		// boot (bad image, exhausted host memory, ...). The machine is left
 		// exactly as it was; the supervisor counts the attempt against its
 		// backoff budget and tries again.
-		return fmt.Errorf("paradice: driver VM restart failed: %v", d.Error())
+		return fmt.Errorf("%w: %v", ErrRestartFailed, d.Error())
 	}
 	m.restarting = true
 	defer func() { m.restarting = false }()
@@ -59,12 +74,7 @@ func (m *Machine) RestartDriverVM() error {
 			be.Stop()
 		}
 	}
-	m.GPU.Reset()
-	m.NIC.Reset()
-	m.Camera.Reset()
-	m.Audio.Reset()
-	m.Mouse.Reset()
-	m.Keyboard.Reset()
+	m.resetDevices()
 
 	// The restart invalidates every cached translation wholesale: the
 	// software TLBs and the grant-validation caches restart cold, like the
@@ -82,9 +92,12 @@ func (m *Machine) RestartDriverVM() error {
 		return err
 	}
 
-	// Reconnect every guest's frontends to backends in the new driver VM.
+	// Reconnect every guest's frontends to backends in the new driver VM, in
+	// sorted path order so the per-channel reconnect charges land in a
+	// deterministic order run to run.
 	for _, g := range m.guests {
-		for path, fe := range g.Frontends {
+		for _, path := range g.sortedPaths() {
+			fe := g.Frontends[path]
 			be, err := cvd.Reconnect(fe, m.HV, m.DriverVM, m.DriverK, path)
 			if err != nil {
 				return err
@@ -103,6 +116,45 @@ func (m *Machine) RestartDriverVM() error {
 	}
 	m.restartEpoch++
 	return nil
+}
+
+// lifecycleGuards rejects a restart or handover the machine cannot perform:
+// no driver VM, data isolation armed, or another lifecycle operation already
+// holding the lock.
+func (m *Machine) lifecycleGuards() error {
+	if m.Kind != KindParadice {
+		return ErrNoDriverVM
+	}
+	if m.cfg.DataIsolation {
+		return ErrDataIsolationRestart
+	}
+	if m.restarting {
+		return fmt.Errorf("%w (epoch %d)", ErrRestartInProgress, m.restartEpoch)
+	}
+	return nil
+}
+
+// resetDevices gives every device a function-level reset — the hardware
+// survives a driver-VM lifecycle event, its volatile state does not.
+func (m *Machine) resetDevices() {
+	m.GPU.Reset()
+	m.NIC.Reset()
+	m.Camera.Reset()
+	m.Audio.Reset()
+	m.Mouse.Reset()
+	m.Keyboard.Reset()
+}
+
+// sortedPaths returns the guest's paravirtualized device paths in sorted
+// order — every lifecycle loop over a guest's channels walks this, never the
+// map, so charges and fault-plan consultations are deterministic.
+func (g *Guest) sortedPaths() []string {
+	paths := make([]string, 0, len(g.Frontends))
+	for path := range g.Frontends {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	return paths
 }
 
 // RestartEpoch counts completed driver-VM restarts. Tests use it to assert

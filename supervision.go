@@ -1,8 +1,6 @@
 package paradice
 
 import (
-	"sort"
-
 	"paradice/internal/sim"
 	"paradice/internal/supervise"
 )
@@ -26,12 +24,7 @@ func (t machineTarget) Channels() []supervise.Channel {
 	for _, g := range t.m.guests {
 		// Sorted paths: the sweep order (and with it every fault-plan
 		// consultation) must be deterministic, not Go map iteration order.
-		paths := make([]string, 0, len(g.Frontends))
-		for path := range g.Frontends {
-			paths = append(paths, path)
-		}
-		sort.Strings(paths)
-		for _, path := range paths {
+		for _, path := range g.sortedPaths() {
 			chs = append(chs, machineChannel{g: g, path: path})
 		}
 	}
