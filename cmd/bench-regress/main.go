@@ -11,6 +11,11 @@
 //   - the tail experiment's per-class p99 rows at every load level —
 //     lower is better, gated at 10% so a tail regression under open-loop
 //     load fails the build even when the means stay flat;
+//   - the tail experiment's critical-path attribution rows
+//     ("attr <class> <hop> p99", from the flight recorder's per-hop
+//     digests) — same " p99" suffix, same gate, so a regression that
+//     moves the p99 *between* hops without moving the end-to-end number
+//     still shows up, hop by hop;
 //   - the tail experiment's max-sustained-throughput row — HIGHER is
 //     better, so it fails on downward drift (tolerance 5%: the sweep is
 //     quantized to the swept rates, so any real capacity loss shows up as

@@ -7,8 +7,13 @@ import (
 )
 
 // fixture builds a paradice-bench -json document with one noop row, two
-// tail p99 rows, and the tail max-sustained row, at the given values.
+// tail p99 rows, one per-hop attribution p99 row, and the tail
+// max-sustained row, at the given values.
 func fixture(noop, rtP99, bulkP99, sustained float64) []byte {
+	return fixtureAttr(noop, rtP99, bulkP99, 4.0, sustained)
+}
+
+func fixtureAttr(noop, rtP99, bulkP99, attrP99, sustained float64) []byte {
 	return []byte(fmt.Sprintf(`[
   {"id": "noop", "title": "no-op", "rows": [
     {"Series": "Paradice(P)", "X": "no-op fileop", "Value": %g, "Unit": "µs"},
@@ -17,10 +22,11 @@ func fixture(noop, rtP99, bulkP99, sustained float64) []byte {
   {"id": "tail", "title": "tail", "rows": [
     {"Series": "rt p99", "X": "load=60k/s", "Value": %g, "Unit": "µs"},
     {"Series": "bulk p99", "X": "load=60k/s", "Value": %g, "Unit": "µs"},
+    {"Series": "attr rt backend p99", "X": "load=60k/s", "Value": %g, "Unit": "µs"},
     {"Series": "rt p50", "X": "load=60k/s", "Value": 5.0, "Unit": "µs"},
     {"Series": "max-sustained", "X": "goodput>=97%%", "Value": %g, "Unit": "kops/s"}
   ]}
-]`, noop, rtP99, bulkP99, sustained))
+]`, noop, rtP99, bulkP99, attrP99, sustained))
 }
 
 func mustParse(t *testing.T, data []byte) map[string]entry {
@@ -40,6 +46,7 @@ func TestParseGuardedRows(t *testing.T) {
 		"noop/Paradice(P)/no-op fileop",
 		"tail/rt p99/load=60k/s",
 		"tail/bulk p99/load=60k/s",
+		"tail/attr rt backend p99/load=60k/s",
 		"tail/max-sustained/goodput>=97%",
 	}
 	if len(vals) != len(want) {
@@ -82,14 +89,25 @@ func TestCompareP99Drift(t *testing.T) {
 	}
 }
 
+// An attribution row regressing past tolerance fails on its own, even when
+// the end-to-end p99s are flat — a hop-level shift is caught hop by hop.
+func TestCompareAttrDrift(t *testing.T) {
+	base := mustParse(t, fixtureAttr(35.3, 11.8, 13.4, 4.0, 240))
+	cur := mustParse(t, fixtureAttr(35.3, 11.8, 13.4, 4.8, 240)) // attr +20%
+	_, failures := compare(base, cur, 10)
+	if len(failures) != 1 || !strings.Contains(failures[0], "attr rt backend p99") {
+		t.Fatalf("failures = %v, want exactly the attr row", failures)
+	}
+}
+
 // A guarded row missing from the current run fails.
 func TestCompareMissingRow(t *testing.T) {
 	base := mustParse(t, fixture(35.3, 11.8, 13.4, 240))
 	cur := mustParse(t, []byte(`[{"id": "noop", "title": "no-op", "rows": [
     {"Series": "Paradice(P)", "X": "no-op fileop", "Value": 35.3, "Unit": "µs"}]}]`))
 	_, failures := compare(base, cur, 10)
-	if len(failures) != 3 {
-		t.Fatalf("failures = %v, want the three missing tail rows", failures)
+	if len(failures) != 4 {
+		t.Fatalf("failures = %v, want the four missing tail rows", failures)
 	}
 	for _, f := range failures {
 		if !strings.Contains(f, "missing") {

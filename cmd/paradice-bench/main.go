@@ -144,15 +144,21 @@ func writeFile(path string, write func(w io.Writer) error) error {
 
 func printRows(rows []bench.Row, table bool) {
 	for _, r := range rows {
+		// The "~" marks an approximate quantile: the histogram spilled its
+		// exact reservoir and the value is a log2-bucket upper bound.
+		mark := " "
+		if r.Approx {
+			mark = "~"
+		}
 		switch {
 		case table && r.Paper != 0:
-			fmt.Printf("  %-16s %-52s %8.0f %-10s (paper: %.0f)\n", r.Series, r.X, r.Value, r.Unit, r.Paper)
+			fmt.Printf("  %-16s %-52s %s%8.0f %-10s (paper: %.0f)\n", r.Series, r.X, mark, r.Value, r.Unit, r.Paper)
 		case table:
-			fmt.Printf("  %-16s %-52s %8.0f %s\n", r.Series, r.X, r.Value, r.Unit)
+			fmt.Printf("  %-16s %-52s %s%8.0f %s\n", r.Series, r.X, mark, r.Value, r.Unit)
 		case r.Paper != 0:
-			fmt.Printf("  %-16s %-22s %10.3f %-6s (paper: %.1f)\n", r.Series, r.X, r.Value, r.Unit, r.Paper)
+			fmt.Printf("  %-16s %-22s %s%10.3f %-6s (paper: %.1f)\n", r.Series, r.X, mark, r.Value, r.Unit, r.Paper)
 		default:
-			fmt.Printf("  %-16s %-22s %10.3f %s\n", r.Series, r.X, r.Value, r.Unit)
+			fmt.Printf("  %-16s %-22s %s%10.3f %s\n", r.Series, r.X, mark, r.Value, r.Unit)
 		}
 	}
 }

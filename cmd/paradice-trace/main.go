@@ -11,6 +11,10 @@
 //	paradice-trace -mode polling            # polled transport
 //	paradice-trace -out t.json -metrics m.txt
 //	paradice-trace -sched                   # include scheduler events
+//	paradice-trace -outliers                # arm the flight recorder and
+//	                                        # dump digests, per-class
+//	                                        # attribution, and exemplar
+//	                                        # outlier span trees
 package main
 
 import (
@@ -19,10 +23,12 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"paradice"
 	"paradice/internal/driver/drm"
 	"paradice/internal/kernel"
+	"paradice/internal/sim"
 	"paradice/internal/trace"
 	"paradice/internal/workload"
 )
@@ -34,6 +40,8 @@ func main() {
 	ops := flag.Int("ops", 8, "forwarded no-op ioctls to trace")
 	matmul := flag.Int("matmul", 16, "matrix order for the GPU workload (0 = skip)")
 	sched := flag.Bool("sched", false, "include scheduler events in the trace")
+	outliers := flag.Bool("outliers", false, "arm the flight recorder; dump digests, attribution, and outlier trees")
+	outlierThreshold := flag.Duration("outlier-threshold", 20*time.Microsecond, "latency above which a request's full span tree is retained (with -outliers)")
 	flag.Parse()
 
 	var mode paradice.Mode
@@ -60,6 +68,12 @@ func main() {
 	tr := m.StartTrace()
 	if *sched {
 		tr.EnableSched(m.Env)
+	}
+	var fr *trace.FlightRecorder
+	if *outliers {
+		fr = tr.ArmFlightRecorder(trace.FlightConfig{
+			Threshold: sim.Duration(*outlierThreshold),
+		})
 	}
 
 	// The forwarded no-op of §6.1.1: an _IOR('d', 0x05, 32) Info ioctl
@@ -98,6 +112,16 @@ func main() {
 
 	if *matmul > 0 {
 		if _, err := workload.RunMatmul(m.Env, g.K, *matmul, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The flight-recorder dump: ring digests (hops tiling each request's
+	// end-to-end latency), the per-class critical-path attribution table,
+	// and the full span tree of every captured outlier.
+	if fr != nil {
+		fmt.Println("\n=== flight recorder ===")
+		if err := fr.WriteDump(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -32,6 +32,10 @@ type Row struct {
 	// Paper is the paper's number for this point, or 0 when the paper
 	// shows it only graphically.
 	Paper float64
+	// Approx marks a quantile row whose histogram spilled its exact-sample
+	// reservoir (trace.HistSampleCap): the value is a log2-bucket upper
+	// bound, not an exact order statistic. Rendered as a "~" prefix.
+	Approx bool `json:",omitempty"`
 }
 
 // Experiment is one table or figure.

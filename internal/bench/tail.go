@@ -7,6 +7,7 @@ import (
 	"paradice/internal/kernel"
 	"paradice/internal/load"
 	"paradice/internal/sim"
+	"paradice/internal/trace"
 )
 
 // The tail-latency experiment: open-loop load against one paravirtualized
@@ -59,8 +60,10 @@ func tailProfile(rate float64, quick bool) load.Profile {
 	return load.Profile{
 		Path: load.SinkPath,
 		Classes: []load.Class{
-			{Name: "rt", QoS: 0, Size: 256, Weight: 1},
-			{Name: "bulk", QoS: 2, Size: 2048, Weight: 3},
+			// The SLOs double as the flight recorder's per-class outlier
+			// thresholds: rt is latency-critical, bulk merely bounded.
+			{Name: "rt", QoS: 0, Size: 256, Weight: 1, SLO: 200 * sim.Microsecond},
+			{Name: "bulk", QoS: 2, Size: 2048, Weight: 3, SLO: 1 * sim.Millisecond},
 		},
 		Arrival:  load.Poisson,
 		Rate:     rate,
@@ -70,43 +73,59 @@ func tailProfile(rate float64, quick bool) load.Profile {
 	}
 }
 
-// tailLevel runs one load level on a fresh machine and returns the result.
-func tailLevel(rate float64, quick bool) (*load.Result, error) {
+// tailLevel runs one load level on a fresh machine and returns the result
+// plus the level's flight recorder — armed always-on with the witness
+// classes' SLOs as per-class outlier thresholds, feeding the attribution
+// rows. Arming never advances the virtual clock, so the latency rows are
+// identical with and without it.
+func tailLevel(rate float64, quick bool) (*load.Result, *trace.FlightRecorder, error) {
 	m, err := paradice.New(paradice.Config{
 		Mode:      paradice.Polling,
 		GuestRAM:  256 << 20,
 		Admission: map[uint8]int{2: tailBulkLimit},
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sink := load.NewSink(m.Env, tailSinkBase, tailSinkPerKB)
 	m.DriverK.RegisterDevice(load.SinkPath, sink, sink)
 	g, err := m.AddGuest("guest1", kernel.Linux)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := g.Paravirtualize(load.SinkPath); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	built(m)
-	gen, err := load.NewGenerator(tailProfile(rate, quick))
+	profile := tailProfile(rate, quick)
+	tr := m.Tracer()
+	if tr == nil {
+		// Production arming: digests only, no unbounded event retention —
+		// a 300k-request level stays O(ring capacity). When paradice-bench
+		// -trace already installed a tracer, keep its retention so the
+		// Chrome export still works, and just arm the recorder on it.
+		tr = m.StartTrace()
+		tr.SetEventRetention(false)
+		defer m.StopTrace()
+	}
+	fr := tr.ArmFlightRecorder(trace.FlightConfig{ClassThresholds: profile.Thresholds()})
+	gen, err := load.NewGenerator(profile)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := gen.Start(g.K); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m.Run()
 	if !gen.Done() {
-		return nil, fmt.Errorf("tail: clients did not drain at %.0f/s", rate)
+		return nil, nil, fmt.Errorf("tail: clients did not drain at %.0f/s", rate)
 	}
 	res := gen.Result()
 	if len(res.Violations) > 0 {
-		return nil, fmt.Errorf("tail: %d violations at %.0f/s: %s",
+		return nil, nil, fmt.Errorf("tail: %d violations at %.0f/s: %s",
 			len(res.Violations), rate, res.Violations[0])
 	}
-	return res, nil
+	return res, fr, nil
 }
 
 // RunTail sweeps the offered rates and emits, per level, the per-class
@@ -126,7 +145,7 @@ func RunTail(quick bool) ([]Row, error) {
 	var rows []Row
 	maxSustained := 0.0
 	for _, rate := range rates {
-		res, err := tailLevel(rate, quick)
+		res, fr, err := tailLevel(rate, quick)
 		if err != nil {
 			return nil, err
 		}
@@ -137,12 +156,28 @@ func RunTail(quick bool) ([]Row, error) {
 				rows = append(rows, Row{
 					Series: cs.Class.Name + " " + qt.name, X: label,
 					Value: cs.Lat.Quantile(qt.q).Microseconds(), Unit: "µs",
+					Approx: !cs.Lat.Exact(),
 				})
 			}
 			rows = append(rows, Row{
 				Series: "shed " + cs.Class.Name, X: label,
 				Value: float64(cs.Throttled + cs.Rejected), Unit: "requests",
 			})
+			// Critical-path attribution: where the class's p99 lives, hop by
+			// hop, from the flight recorder's digests. The " p99" suffix puts
+			// these rows under the same bench-regress gate as the end-to-end
+			// p99s. Hops that never saw time at this level are omitted.
+			for h := trace.Hop(0); h < trace.HopCount; h++ {
+				hh := fr.HopLatency(cs.Class.QoS, h)
+				if hh == nil || hh.Sum == 0 {
+					continue
+				}
+				rows = append(rows, Row{
+					Series: fmt.Sprintf("attr %s %s p99", cs.Class.Name, h), X: label,
+					Value: hh.Quantile(0.99).Microseconds(), Unit: "µs",
+					Approx: !hh.Exact(),
+				})
+			}
 		}
 		// Goodput: the slice of the offered rate that actually completed
 		// (clients drain their backlog after the arrival window, so a

@@ -126,10 +126,12 @@ type Frontend struct {
 
 	// path is the guest-visible device path; vm the guest kernel's name.
 	// m holds the per-path metric names, precomputed at Connect so the hot
-	// path never builds strings.
-	path string
-	vm   string
-	m    feMetricNames
+	// path never builds strings. qdepthHigh is the high-water ring
+	// occupancy, mirrored into the qdepth.max gauge.
+	path       string
+	vm         string
+	m          feMetricNames
+	qdepthHigh int
 }
 
 // feMetricNames are the frontend's per-device-path metric names, built once
@@ -137,7 +139,7 @@ type Frontend struct {
 // no string concatenation when on).
 type feMetricNames struct {
 	ops, bytes, rejected, throttled, timedOut, fastFailed string
-	queued, lat                                           string
+	queued, lat, qdepth, qdepthMax                        string
 	errTimedOut, errNoDev, errRemote, errBusy, errAgain   string
 }
 
@@ -152,6 +154,8 @@ func newFeMetricNames(path string) feMetricNames {
 		fastFailed:  p + ".fastfailed",
 		queued:      p + ".queued",
 		lat:         p + ".roundtrip",
+		qdepth:      p + ".qdepth",
+		qdepthMax:   p + ".qdepth.max",
 		errTimedOut: p + ".errno.ETIMEDOUT",
 		errNoDev:    p + ".errno.ENODEV",
 		errRemote:   p + ".errno.EREMOTE",
@@ -292,6 +296,11 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 	rid := c.RID
 	start := tr.Now()
 	tr.Add(fe.m.ops, 1)
+	// Flight-recorder annotations: the class as soon as the request is
+	// seen, the outcome on every return path. A disarmed (nil) recorder
+	// no-ops throughout.
+	fl := tr.Flight()
+	fl.Note(rid, t.QoS)
 	parked := false
 	if fe.draining {
 		// Planned handover in progress: park the post at the frontend until
@@ -316,12 +325,14 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 		fe.FastFailed++
 		tr.Add(fe.m.fastFailed, 1)
 		tr.Add(fe.m.errNoDev, 1)
+		fl.Outcome(rid, int32(kernel.ENODEV), false)
 		return -1, kernel.ENODEV
 	}
 	if fe.backend == nil || fe.backend.stopped {
 		fe.FastFailed++
 		tr.Add(fe.m.fastFailed, 1)
 		tr.Add(fe.m.errRemote, 1)
+		fl.Outcome(rid, int32(kernel.EREMOTE), false)
 		return -1, kernel.EREMOTE
 	}
 	if lim, limited := fe.admission[t.QoS]; limited && !parked &&
@@ -336,6 +347,7 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 		tr.Add(fe.m.throttled, 1)
 		tr.Add(fe.admitNames[t.QoS], 1)
 		tr.Add(fe.m.errAgain, 1)
+		fl.Outcome(rid, int32(kernel.EAGAIN), true)
 		return -1, kernel.EAGAIN
 	}
 	slot, ok := fe.allocSlot()
@@ -355,7 +367,19 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 		fe.Rejected++
 		tr.Add(fe.m.rejected, 1)
 		tr.Add(fe.m.errBusy, 1)
+		fl.Outcome(rid, int32(kernel.EBUSY), true)
 		return -1, kernel.EBUSY
+	}
+	// Queue-depth gauges: the depth after this claim, and its high-water
+	// mark. The scan is O(slotCount) but only runs under an installed
+	// tracer — the uninstrumented hot path is untouched.
+	if tr != nil {
+		occ := fe.Occupancy()
+		if occ > fe.qdepthHigh {
+			fe.qdepthHigh = occ
+			tr.Set(fe.m.qdepthMax, uint64(occ))
+		}
+		tr.Set(fe.m.qdepth, uint64(occ))
 	}
 	r.slot = slot
 	r.seq = fe.nextSeq
@@ -406,6 +430,7 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 		fe.TimedOut++
 		tr.Add(fe.m.timedOut, 1)
 		tr.Add(fe.m.errTimedOut, 1)
+		fl.Outcome(rid, int32(kernel.ETIMEDOUT), false)
 		return -1, kernel.ETIMEDOUT
 	}
 	cstart := tr.Now()
@@ -415,6 +440,7 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 	fe.ring.recycleSlot(slot)
 	fe.RoundTrips++
 	tr.Observe(fe.m.lat, tr.Now().Sub(start))
+	fl.Outcome(rid, int32(errno), false)
 	if (r.op == opRead || r.op == opWrite) && errno == 0 && ret > 0 {
 		tr.Add(fe.m.bytes, uint64(ret))
 	}

@@ -22,6 +22,10 @@ package faults_test
 // open-loop load generator — residues 3/1/2/0; force one everywhere with
 // the matching -stress.* flag), so injected faults land on each feature in
 // a quarter of the sweep without losing the plain-configuration coverage.
+// The flight recorder rides the open-loop residue (or every seed with
+// -stress.flightrec): its digests, attribution, and outlier captures are
+// part of the byte-identical replay contract, and on invariant failure a
+// forensics replay writes them to a temp artifact directory.
 //
 // On failure the reproducing seed is printed; re-run with
 // -stress.seed=<seed> to replay the exact simulation.
@@ -31,6 +35,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -55,6 +61,7 @@ var (
 	stressWalkcache  = flag.Bool("stress.walkcache", false, "run every seed with the software TLB and batched grant hypercalls armed (default: every 4th seed)")
 	stressOpenloop   = flag.Bool("stress.openloop", false, "run every seed with the open-loop load generator armed (default: every 4th seed)")
 	stressHandover   = flag.Bool("stress.handover", false, "perform a planned driver-VM handover mid-run on every 4th seed (dormant unless set)")
+	stressFlightrec  = flag.Bool("stress.flightrec", false, "arm the flight recorder on every seed (default: every 4th seed)")
 )
 
 const (
@@ -253,11 +260,16 @@ const (
 )
 
 // traceCapture, when passed to runOne, runs the whole simulation under the
-// observability layer and receives its exported Chrome trace and metrics
-// dump — the byte strings the determinism invariant compares across replays.
+// observability layer and receives its exported Chrome trace, metrics dump,
+// and flight-recorder dump — the byte strings the determinism invariant
+// compares across replays. forceFlight arms the flight recorder regardless
+// of the seed's residue (the recorder is a pure observer — arming it never
+// advances the virtual clock — so a forensics replay stays exact).
 type traceCapture struct {
-	trace   []byte
-	metrics []byte
+	trace       []byte
+	metrics     []byte
+	flight      []byte
+	forceFlight bool
 }
 
 // runOne executes one seeded stress simulation and returns nil if every
@@ -278,6 +290,7 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	plan := faults.New(seed)
 	rng := plan.Rand()
 	env := sim.NewEnv()
+	var fr *trace.FlightRecorder
 	if cap != nil {
 		tr := trace.New()
 		trace.Install(env, tr)
@@ -291,6 +304,13 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 				retErr = err
 			}
 			cap.trace, cap.metrics = tb.Bytes(), mb.Bytes()
+			if fr != nil {
+				var fb bytes.Buffer
+				if err := fr.WriteDump(&fb); err != nil && retErr == nil {
+					retErr = err
+				}
+				cap.flight = fb.Bytes()
+			}
 		}()
 	}
 
@@ -328,6 +348,28 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	// generator's clients live when the plan kills that backend, and every
 	// outcome the clients observe must still be an honest errno.
 	openloop := !weaken && (*stressOpenloop || seed%4 == 0)
+
+	// The flight recorder rides the open-loop residue (or every seed under
+	// -stress.flightrec): always-on digests over the very runs that flood the
+	// ring, with the injected errnos, sheds, and restart episodes landing as
+	// tail-based outlier captures. On a plain sweep (no traceCapture) a
+	// retention-free tracer carries the digests so a 4 ms flood stays
+	// O(ring capacity); a capturing run reuses its full tracer, and the dump
+	// joins the byte-identical replay contract. Weakened runs stay dark so
+	// the canary signal is unobscured.
+	flightrec := !weaken && (*stressFlightrec || seed%4 == 0 || (cap != nil && cap.forceFlight))
+	if flightrec {
+		tr := trace.Get(env)
+		if tr == nil {
+			tr = trace.New()
+			tr.SetEventRetention(false)
+			trace.Install(env, tr)
+			defer trace.Uninstall(env)
+		}
+		fr = tr.ArmFlightRecorder(trace.FlightConfig{
+			Threshold: 2 * sim.Millisecond,
+		})
+	}
 
 	// With -stress.handover, every 4th seed — the open-loop residue, so the
 	// quiesce stage drains a ring that the generator keeps refilling —
@@ -777,13 +819,43 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	return nil
 }
 
+// writeForensics replays a failing seed under the full observability layer —
+// flight recorder force-armed — and writes the flight-recorder dump, metrics
+// snapshot, and Chrome trace to a temp artifact directory. The simulation is
+// a pure function of the seed and the recorder is a pure observer, so the
+// replay reproduces the failure exactly; the artifacts are what a bug report
+// attaches next to the reproduction command. Returns the directory ("" if
+// the artifacts could not be written — forensics must never mask the real
+// failure).
+func writeForensics(t *testing.T, seed int64) string {
+	t.Helper()
+	c := traceCapture{forceFlight: true}
+	_ = runOne(seed, false, &c) // same invariant failure, now instrumented
+	dir, err := os.MkdirTemp("", fmt.Sprintf("stress-forensics-seed%d-", seed))
+	if err != nil {
+		t.Logf("forensics: %v", err)
+		return ""
+	}
+	for name, data := range map[string][]byte{
+		"flightrec.txt": c.flight,
+		"metrics.txt":   c.metrics,
+		"trace.json":    c.trace,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			t.Logf("forensics: %v", err)
+			return ""
+		}
+	}
+	return dir
+}
+
 // TestStressSeeded sweeps seeds (1000 by default: -stress.seeds) and fails
 // on the first seed whose run breaks an invariant, printing the reproduction
-// command.
+// command and writing flight-recorder forensics for the failing seed.
 func TestStressSeeded(t *testing.T) {
 	if *stressSeed >= 0 {
 		if err := runOne(*stressSeed, false, nil); err != nil {
-			t.Fatalf("seed %d: %v", *stressSeed, err)
+			t.Fatalf("seed %d: %v\nforensics: %s", *stressSeed, err, writeForensics(t, *stressSeed))
 		}
 		return
 	}
@@ -796,8 +868,8 @@ func TestStressSeeded(t *testing.T) {
 	}
 	for seed := int64(0); seed < n; seed++ {
 		if err := runOne(seed, false, nil); err != nil {
-			t.Fatalf("stress invariant broken at seed %d: %v\nreproduce: go test ./internal/faults -run TestStressSeeded -stress.seed=%d",
-				seed, err, seed)
+			t.Fatalf("stress invariant broken at seed %d: %v\nreproduce: go test ./internal/faults -run TestStressSeeded -stress.seed=%d\nforensics: %s",
+				seed, err, seed, writeForensics(t, seed))
 		}
 	}
 }
@@ -832,23 +904,29 @@ func TestStressTraceDeterministic(t *testing.T) {
 		n = 10 // each traced run is ~30x slower under the race detector
 	}
 	for seed := int64(0); seed < n; seed++ {
-		run := func() (trc, met []byte) {
+		run := func() (trc, met, fl []byte) {
 			var c traceCapture
 			if err := runOne(seed, false, &c); err != nil {
 				t.Fatalf("seed %d: %v", seed, err)
 			}
-			return c.trace, c.metrics
+			return c.trace, c.metrics, c.flight
 		}
-		t1, m1 := run()
-		t2, m2 := run()
+		t1, m1, f1 := run()
+		t2, m2, f2 := run()
 		if len(t1) == 0 || len(m1) == 0 {
 			t.Fatalf("seed %d: empty trace (%d bytes) or metrics (%d bytes) export", seed, len(t1), len(m1))
+		}
+		if seed%4 == 0 && len(f1) == 0 {
+			t.Fatalf("seed %d: flight recorder armed (open-loop residue) but dump is empty", seed)
 		}
 		if !bytes.Equal(t1, t2) {
 			t.Fatalf("seed %d: trace file diverged between identical runs (%d vs %d bytes)", seed, len(t1), len(t2))
 		}
 		if !bytes.Equal(m1, m2) {
 			t.Fatalf("seed %d: metrics dump diverged between identical runs:\n--- run 1\n%s\n--- run 2\n%s", seed, m1, m2)
+		}
+		if !bytes.Equal(f1, f2) {
+			t.Fatalf("seed %d: flight-recorder dump diverged between identical runs:\n--- run 1\n%s\n--- run 2\n%s", seed, f1, f2)
 		}
 	}
 }

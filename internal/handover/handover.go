@@ -125,6 +125,11 @@ func Run(env *sim.Env, cfg Config, h Hooks) (Episode, error) {
 	tr := trace.Get(env)
 	tr.Add("machine.handover.attempts", 1)
 	ep := Episode{Start: env.Now()}
+	// Requests overlapping the handover are episode-flagged in the flight
+	// recorder (and captured as outliers), committed and aborted runs alike.
+	fl := tr.Flight()
+	fl.BeginEpisode()
+	defer fl.EndEpisode()
 
 	if d := faults.Point(env, "machine.handover.fail"); d != nil {
 		return abort(env, ep, StagePrepare, h, fmt.Errorf("%w: %v", ErrPrepare, d.Error()))

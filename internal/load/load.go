@@ -57,6 +57,10 @@ type Class struct {
 	QoS    uint8
 	Size   int // ioctl payload bytes
 	Weight int // share of arrivals (relative to the other classes)
+	// SLO is the class's per-request latency objective (0 = none). The
+	// witness classes feed it to the flight recorder as the outlier-capture
+	// threshold and to the SLO watchdog as the burn objective.
+	SLO sim.Duration
 }
 
 // Profile describes one open-loop run.
@@ -82,6 +86,19 @@ type Profile struct {
 	Duration sim.Duration
 	// Seed seeds the arrival stream (gap lengths and class picks).
 	Seed int64
+}
+
+// Thresholds returns the per-QoS-class latency objectives of the profile's
+// classes — the map trace.FlightConfig.ClassThresholds takes. Classes
+// without an SLO are absent (no latency-based outlier capture for them).
+func (p Profile) Thresholds() map[uint8]sim.Duration {
+	out := make(map[uint8]sim.Duration)
+	for _, c := range p.Classes {
+		if c.SLO > 0 {
+			out[c.QoS] = c.SLO
+		}
+	}
+	return out
 }
 
 // ClassStats is the per-class outcome of a run.

@@ -1,0 +1,251 @@
+// SLO burn-rate watchdog: the measurement half of supervision. The restart
+// watchdog (supervise.go) answers "is the driver VM alive"; the SLO
+// watchdog answers "is it serving well enough" — per-QoS-class latency and
+// goodput objectives evaluated over sliding virtual-clock windows of
+// flight-recorder digests, with the burn rate (error budget consumed per
+// window relative to the budget) as the alerting signal, SRE-style. A burn
+// alert lands in the same supervision state log as restarts and planned
+// maintenance, so the log stays the single chronological record of
+// everything that went wrong, and carries a deterministic diagnostic dump:
+// which objective burned, how hard, and which request's critical path is
+// the exemplar.
+
+package supervise
+
+import (
+	"fmt"
+
+	"paradice/internal/sim"
+	"paradice/internal/trace"
+)
+
+// Objective is one per-class service-level objective. An objective with a
+// LatencyThreshold gates tail latency; one with a MinGoodput gates the
+// completion rate (shed or errno-failed requests burn it). One objective
+// can carry both.
+type Objective struct {
+	// Name labels the objective in alerts ("rt-latency").
+	Name string
+	// Class is the QoS class the objective applies to.
+	Class uint8
+	// LatencyThreshold: a request slower than this is over-SLO. Zero
+	// disables the latency gate.
+	LatencyThreshold sim.Duration
+	// LatencyBudget is the fraction of requests allowed over the threshold
+	// (default 0.01 — a p99 objective).
+	LatencyBudget float64
+	// MinGoodput is the minimum fraction of requests that must complete
+	// successfully (not shed, errno 0). Zero disables the goodput gate.
+	MinGoodput float64
+}
+
+// SLOConfig tunes the watchdog. Zero values select the defaults.
+type SLOConfig struct {
+	// Window is the sliding evaluation window (default 2 ms of virtual
+	// time). Digests whose completion falls inside (now-Window, now] count.
+	Window sim.Duration
+	// Every is the evaluation period (default 500 µs).
+	Every sim.Duration
+	// BurnRate is the alerting threshold: an objective alerts when it is
+	// consuming its error budget at least this many times faster than
+	// allowed (default 2.0).
+	BurnRate float64
+	// MinRequests suppresses alerts on windows with fewer samples than this
+	// (default 16) — a single slow request in an idle window is not a burn.
+	MinRequests int
+	// Objectives are the per-class objectives to evaluate.
+	Objectives []Objective
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Window == 0 {
+		c.Window = 2 * sim.Millisecond
+	}
+	if c.Every == 0 {
+		c.Every = 500 * sim.Microsecond
+	}
+	if c.BurnRate == 0 {
+		c.BurnRate = 2.0
+	}
+	if c.MinRequests == 0 {
+		c.MinRequests = 16
+	}
+	for i := range c.Objectives {
+		if c.Objectives[i].LatencyThreshold > 0 && c.Objectives[i].LatencyBudget == 0 {
+			c.Objectives[i].LatencyBudget = 0.01
+		}
+	}
+	return c
+}
+
+// BurnAlert is one recorded burn: the objective, how hard it burned, and
+// the deterministic diagnostic dump.
+type BurnAlert struct {
+	At        sim.Time
+	Objective string
+	Kind      string // "latency" or "goodput"
+	Burn      float64
+	Window    sim.Duration
+	Requests  int
+	Bad       int
+	Dump      string
+}
+
+// SLOWatchdog evaluates the objectives over the flight recorder's digests
+// on its own sim proc. Like the Supervisor's watchdog it keeps the event
+// calendar non-empty while running: Stop it before draining the calendar
+// with Run, or drive the simulation with RunUntil.
+type SLOWatchdog struct {
+	env     *sim.Env
+	fr      *trace.FlightRecorder
+	sup     *Supervisor // optional: burn alerts land in its state log
+	cfg     SLOConfig
+	kick    *sim.Event
+	stopped bool
+	burning map[string]bool // objective+kind currently over threshold
+	alerts  []BurnAlert
+}
+
+// StartSLO spawns the burn-rate watchdog on env, reading fr's digests.
+// sup may be nil (alerts are then only recorded locally).
+func StartSLO(env *sim.Env, fr *trace.FlightRecorder, sup *Supervisor, cfg SLOConfig) *SLOWatchdog {
+	w := &SLOWatchdog{
+		env:     env,
+		fr:      fr,
+		sup:     sup,
+		cfg:     cfg.withDefaults(),
+		kick:    env.NewEvent("slo-kick"),
+		burning: make(map[string]bool),
+	}
+	env.Spawn("slo-watchdog", w.run)
+	return w
+}
+
+// Stop terminates the watchdog proc.
+func (w *SLOWatchdog) Stop() {
+	w.stopped = true
+	w.kick.Trigger()
+}
+
+// Stopped reports whether the watchdog has exited or been told to.
+func (w *SLOWatchdog) Stopped() bool { return w.stopped }
+
+// Alerts returns every burn alert recorded so far.
+func (w *SLOWatchdog) Alerts() []BurnAlert { return w.alerts }
+
+func (w *SLOWatchdog) run(p *sim.Proc) {
+	for {
+		if w.stopped {
+			return
+		}
+		w.kick.Reset()
+		p.WaitTimeout(w.kick, w.cfg.Every)
+		if w.stopped {
+			return
+		}
+		w.Evaluate(p.Now())
+	}
+}
+
+// Evaluate runs one evaluation pass over the window ending at now. Exposed
+// so tests (and one-shot tools) can evaluate without the proc.
+func (w *SLOWatchdog) Evaluate(now sim.Time) {
+	if w.fr == nil {
+		return
+	}
+	digests := w.fr.Digests()
+	since := now.Add(-w.cfg.Window)
+	for _, obj := range w.cfg.Objectives {
+		var window []trace.Digest
+		for _, d := range digests {
+			if d.Class == obj.Class && d.End > since && d.End <= now {
+				window = append(window, d)
+			}
+		}
+		if obj.LatencyThreshold > 0 {
+			bad := 0
+			for _, d := range window {
+				if d.Latency() > obj.LatencyThreshold {
+					bad++
+				}
+			}
+			w.gate(now, obj, "latency", obj.LatencyBudget, window, bad)
+		}
+		if obj.MinGoodput > 0 {
+			bad := 0
+			for _, d := range window {
+				if d.Shed || d.Errno != 0 {
+					bad++
+				}
+			}
+			w.gate(now, obj, "goodput", 1-obj.MinGoodput, window, bad)
+		}
+	}
+}
+
+// gate compares one objective dimension's bad fraction against its budget
+// and raises (or clears) the burn alert. Alerts are edge-triggered: one
+// alert per excursion above BurnRate, re-armed when the burn falls back
+// under 1 (budget-rate consumption).
+func (w *SLOWatchdog) gate(now sim.Time, obj Objective, kind string, budget float64, window []trace.Digest, bad int) {
+	key := obj.Name + "/" + kind
+	n := len(window)
+	if budget <= 0 {
+		return
+	}
+	if n == 0 {
+		// An idle window is not burning: clear the latch so the next real
+		// excursion alerts again.
+		delete(w.burning, key)
+		return
+	}
+	burn := (float64(bad) / float64(n)) / budget
+	if burn < 1 {
+		delete(w.burning, key)
+		return
+	}
+	if w.burning[key] || n < w.cfg.MinRequests || burn < w.cfg.BurnRate {
+		return
+	}
+	w.burning[key] = true
+	alert := BurnAlert{
+		At:        now,
+		Objective: obj.Name,
+		Kind:      kind,
+		Burn:      burn,
+		Window:    w.cfg.Window,
+		Requests:  n,
+		Bad:       bad,
+		Dump:      w.dump(obj, kind, window),
+	}
+	w.alerts = append(w.alerts, alert)
+	summary := fmt.Sprintf("SLO burn %s/%s: burn=%.2fx bad=%d/%d over %s", obj.Name, kind, burn, bad, n, w.cfg.Window)
+	if w.sup != nil {
+		w.sup.NoteAlert(summary)
+	} else if tr := trace.Get(w.env); tr != nil {
+		tr.Instant(0, "driver-vm", trace.LayerSupervisor, "alert", summary)
+		tr.Add("supervise.alerts", 1)
+	}
+}
+
+// dump builds the deterministic diagnostic: the worst request in the
+// window (by latency, first-completed on ties) and its dominant
+// critical-path hop — the "where is the p99 living right now" answer an
+// operator wants in the alert itself.
+func (w *SLOWatchdog) dump(obj Objective, kind string, window []trace.Digest) string {
+	var worst trace.Digest
+	for _, d := range window {
+		if d.Latency() > worst.Latency() {
+			worst = d
+		}
+	}
+	dom, domDur := trace.HopQueue, sim.Duration(-1)
+	for h := trace.Hop(0); h < trace.HopCount; h++ {
+		if worst.Hops[h] > domDur {
+			dom, domDur = h, worst.Hops[h]
+		}
+	}
+	return fmt.Sprintf("objective=%s kind=%s class=%d worst rid=%d op=%q lat=%dns errno=%d shed=%t episode=%t dominant-hop=%s (%dns)",
+		obj.Name, kind, obj.Class, worst.RID, worst.Op, int64(worst.Latency()),
+		worst.Errno, worst.Shed, worst.Episode, dom, int64(domDur))
+}

@@ -1,0 +1,162 @@
+package supervise
+
+import (
+	"strings"
+	"testing"
+
+	"paradice/internal/sim"
+	"paradice/internal/trace"
+)
+
+// feed pushes n digests of one class completing at end, bad of them over
+// lat (or shed when shed is set).
+func feed(fr *trace.FlightRecorder, class uint8, end sim.Time, n, bad int, lat, slow sim.Duration, shed bool) {
+	for i := 0; i < n; i++ {
+		d := trace.Digest{RID: uint64(i + 1), VM: "guest", Op: "write /dev/a", Class: class, End: end}
+		l := lat
+		if i < bad {
+			if shed {
+				d.Shed = true
+				d.Errno = 11
+			} else {
+				l = slow
+			}
+		}
+		d.Start = end.Add(-l)
+		d.Hops[trace.HopBackend] = l
+		fr.Push(d)
+	}
+}
+
+func sloCfg(objs ...Objective) SLOConfig {
+	return SLOConfig{Window: 2 * sim.Millisecond, Every: 500 * sim.Microsecond, Objectives: objs}
+}
+
+// A latency objective burning at >= BurnRate raises exactly one alert per
+// excursion, with the deterministic diagnostic dump attached.
+func TestSLOLatencyBurnAlert(t *testing.T) {
+	env := sim.NewEnv()
+	fr := trace.NewFlightRecorder(trace.FlightConfig{})
+	w := StartSLO(env, fr, nil, sloCfg(Objective{
+		Name: "rt", Class: 1, LatencyThreshold: 1000, LatencyBudget: 0.01,
+	}))
+	w.Stop()
+	env.Run()
+
+	// 100 requests, 10 over threshold: burn = (10/100)/0.01 = 10x.
+	feed(fr, 1, sim.Time(1*sim.Millisecond), 100, 10, 500, 5000, false)
+	w.Evaluate(sim.Time(1 * sim.Millisecond))
+	alerts := w.Alerts()
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	a := alerts[0]
+	if a.Objective != "rt" || a.Kind != "latency" || a.Requests != 100 || a.Bad != 10 {
+		t.Fatalf("alert = %+v", a)
+	}
+	if a.Burn < 9.99 || a.Burn > 10.01 {
+		t.Errorf("burn = %v, want 10x", a.Burn)
+	}
+	for _, want := range []string{"objective=rt", "kind=latency", "class=1", "lat=5000ns", "dominant-hop=backend"} {
+		if !strings.Contains(a.Dump, want) {
+			t.Errorf("dump missing %q: %s", want, a.Dump)
+		}
+	}
+
+	// Still burning: edge-triggered, no second alert.
+	w.Evaluate(sim.Time(1 * sim.Millisecond))
+	if len(w.Alerts()) != 1 {
+		t.Fatalf("re-alerted while still burning")
+	}
+
+	// The window slides past the burn (burn < 1 clears), then a fresh burn
+	// re-alerts.
+	w.Evaluate(sim.Time(10 * sim.Millisecond))
+	feed(fr, 1, sim.Time(12*sim.Millisecond), 50, 25, 500, 5000, false)
+	w.Evaluate(sim.Time(12 * sim.Millisecond))
+	if len(w.Alerts()) != 2 {
+		t.Fatalf("alerts after re-burn = %d, want 2", len(w.Alerts()))
+	}
+}
+
+// A goodput objective burns on shed/errno requests, and the alert lands in
+// the supervisor's state-change log via NoteAlert.
+func TestSLOGoodputBurnIntoSupervisorLog(t *testing.T) {
+	env := sim.NewEnv()
+	tr := trace.New()
+	trace.Install(env, tr)
+	defer trace.Uninstall(env)
+	sup := Start(env, &fakeTarget{}, Config{})
+	fr := trace.NewFlightRecorder(trace.FlightConfig{})
+	w := StartSLO(env, fr, sup, sloCfg(Objective{
+		Name: "bulk", Class: 2, MinGoodput: 0.9,
+	}))
+	env.RunUntil(env.Now().Add(1 * sim.Millisecond))
+	sup.Stop()
+	w.Stop()
+	env.Run()
+
+	// 40 requests, 20 shed: goodput 50% against a 90% objective,
+	// burn = 0.5/0.1 = 5x.
+	feed(fr, 2, sim.Time(1*sim.Millisecond), 40, 20, 500, 500, true)
+	w.Evaluate(sim.Time(1 * sim.Millisecond))
+	if len(w.Alerts()) != 1 || w.Alerts()[0].Kind != "goodput" {
+		t.Fatalf("alerts = %+v, want one goodput burn", w.Alerts())
+	}
+	found := false
+	for _, c := range sup.Changes() {
+		if strings.Contains(c.Reason, "alert: SLO burn bulk/goodput") {
+			found = true
+			if c.State != sup.State() {
+				t.Errorf("alert logged with state %v, want current state", c.State)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("burn alert missing from supervision log: %+v", sup.Changes())
+	}
+	if tr.Metrics().Counter("supervise.alerts") != 1 {
+		t.Errorf("supervise.alerts = %d, want 1", tr.Metrics().Counter("supervise.alerts"))
+	}
+}
+
+// Idle or thin windows never alert: MinRequests suppresses small-sample
+// noise, and classes outside the objective are ignored.
+func TestSLOThinWindowSuppressed(t *testing.T) {
+	env := sim.NewEnv()
+	fr := trace.NewFlightRecorder(trace.FlightConfig{})
+	w := StartSLO(env, fr, nil, sloCfg(Objective{
+		Name: "rt", Class: 1, LatencyThreshold: 1000,
+	}))
+	w.Stop()
+	env.Run()
+
+	// 8 requests, all slow — under the default MinRequests of 16.
+	feed(fr, 1, sim.Time(1*sim.Millisecond), 8, 8, 500, 5000, false)
+	// A different class burning hard is not this objective's problem.
+	feed(fr, 3, sim.Time(1*sim.Millisecond), 100, 100, 500, 5000, false)
+	w.Evaluate(sim.Time(1 * sim.Millisecond))
+	if len(w.Alerts()) != 0 {
+		t.Fatalf("alerts = %+v, want none", w.Alerts())
+	}
+}
+
+// The watchdog proc evaluates on the virtual clock and stops cleanly — the
+// calendar drains after Stop.
+func TestSLOWatchdogProcLifecycle(t *testing.T) {
+	env := sim.NewEnv()
+	fr := trace.NewFlightRecorder(trace.FlightConfig{})
+	w := StartSLO(env, fr, nil, SLOConfig{Objectives: []Objective{{
+		Name: "rt", Class: 0, LatencyThreshold: 1000,
+	}}})
+	feed(fr, 0, sim.Time(200*sim.Microsecond), 20, 20, 500, 5000, false)
+	env.RunUntil(env.Now().Add(1 * sim.Millisecond))
+	if len(w.Alerts()) != 1 {
+		t.Fatalf("proc-driven evaluation found %d alerts, want 1", len(w.Alerts()))
+	}
+	w.Stop()
+	env.Run() // must drain; a live watchdog would spin the calendar forever
+	if !w.Stopped() {
+		t.Fatal("watchdog not stopped")
+	}
+}

@@ -289,14 +289,20 @@ func (s *Supervisor) setState(st State, reason string) {
 	}
 	tr.Instant(0, "driver-vm", trace.LayerSupervisor, "state:"+st.String(), reason)
 	tr.Add("supervise.transitions", 1)
+	// The flight recorder mirrors the episode: requests in flight during a
+	// recovery are flagged (and captured as outliers) between the Begin and
+	// End marks. A disarmed (nil) recorder no-ops.
+	fl := tr.Flight()
 	switch st {
 	case StateRestarting:
 		if !s.episodeOpen {
 			s.episodeOpen, s.episodeStart = true, s.env.Now()
+			fl.BeginEpisode()
 		}
 	case StateHealthy:
 		if s.episodeOpen {
 			s.episodeOpen = false
+			fl.EndEpisode()
 			tr.Group(0, "driver-vm", trace.LayerSupervisor, "recovery", s.episodeStart, s.env.Now())
 			tr.Add("supervise.recoveries", 1)
 			tr.Set("supervise.mttr_ns", uint64(s.MTTR()))
@@ -304,10 +310,25 @@ func (s *Supervisor) setState(st State, reason string) {
 	case StateDegraded:
 		if s.episodeOpen {
 			s.episodeOpen = false
+			fl.EndEpisode()
 			tr.Group(0, "driver-vm", trace.LayerSupervisor, "outage-degraded", s.episodeStart, s.env.Now())
 		}
 		tr.Add("supervise.degraded", 1)
 	}
+}
+
+// NoteAlert records an out-of-band alert — an SLO burn, typically — in the
+// state-change log without changing state: the supervision log stays the
+// one chronological record of everything that went wrong, planned or
+// measured. Also emitted as a trace instant and counted.
+func (s *Supervisor) NoteAlert(reason string) {
+	s.changes = append(s.changes, Change{At: s.env.Now(), State: s.state, Reason: "alert: " + reason, Attempt: s.restarts})
+	tr := trace.Get(s.env)
+	if tr == nil {
+		return
+	}
+	tr.Instant(0, "driver-vm", trace.LayerSupervisor, "alert", reason)
+	tr.Add("supervise.alerts", 1)
 }
 
 // run is the watchdog proc: sleep one heartbeat period (or less, if a death

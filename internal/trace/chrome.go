@@ -2,10 +2,18 @@ package trace
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
-	"strconv"
 )
+
+// jquote renders s as a JSON string literal. strconv.Quote is NOT usable
+// here: it emits Go escapes (\a, \v, \x07) that JSON parsers reject, so
+// hostile detail strings would corrupt the whole file.
+func jquote(s string) string {
+	b, _ := json.Marshal(s) // marshaling a string cannot fail
+	return string(b)
+}
 
 // This file writes the recorded events as Chrome trace_event JSON — the
 // format chrome://tracing, Perfetto, and speedscope all load. The mapping:
@@ -68,11 +76,11 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	// Metadata: name the processes and threads.
 	for _, vm := range vmOrder {
 		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
-			pids[vm], strconv.Quote(vm)))
+			pids[vm], jquote(vm)))
 	}
 	for _, k := range tidOrder {
 		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
-			pids[k.vm], tids[k], strconv.Quote(k.layer)))
+			pids[k.vm], tids[k], jquote(k.layer)))
 	}
 
 	for _, e := range t.events {
@@ -80,20 +88,20 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 		tid := tids[key{e.VM, e.Layer}]
 		args := fmt.Sprintf(`{"rid":%d`, e.RID)
 		if e.Detail != "" {
-			args += `,"detail":` + strconv.Quote(e.Detail)
+			args += `,"detail":` + jquote(e.Detail)
 		}
 		args += "}"
 		switch e.Kind {
 		case KindInstant:
 			emit(fmt.Sprintf(`{"name":%s,"cat":"instant","ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d,"args":%s}`,
-				strconv.Quote(e.Name), usec(int64(e.Start)), pid, tid, args))
+				jquote(e.Name), usec(int64(e.Start)), pid, tid, args))
 		default:
 			cat := "work"
 			if e.Kind == KindGroup {
 				cat = "group"
 			}
 			emit(fmt.Sprintf(`{"name":%s,"cat":%q,"ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d,"args":%s}`,
-				strconv.Quote(e.Name), cat, usec(int64(e.Start)), usec(int64(e.Dur())), pid, tid, args))
+				jquote(e.Name), cat, usec(int64(e.Start)), usec(int64(e.Dur())), pid, tid, args))
 		}
 	}
 	if _, err := bw.WriteString("\n" + `],"displayTimeUnit":"ns"}` + "\n"); err != nil {

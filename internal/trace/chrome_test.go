@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the chrome export golden file")
+
+// chromeFixture builds a tracer exercising every export path: multiple VMs
+// and layers (pid/tid assignment in first-seen order), all three event
+// kinds, and detail strings that need JSON escaping.
+func chromeFixture() *Tracer {
+	tr := New()
+	tr.Span(1, "guest", LayerSyscall, "syscall", 0, 100)
+	tr.Span(1, "guest", LayerFE, "post", 100, 300)
+	tr.Span(1, "hypervisor", LayerHV, "hypercall", 300, 700)
+	tr.Span(1, "driver-vm", LayerBE, "dispatch", 700, 950)
+	tr.Group(1, "guest", LayerSyscall, `ioctl /dev/dri/card0`, 0, 1200)
+	tr.Group(2, "driver-vm", LayerBE, "execute write", 1300, 1500)
+	// Instants bypass the env clock here by appending directly: the detail
+	// strings are the escaping torture test (quotes, backslash, newline,
+	// control byte, non-ASCII).
+	tr.events = append(tr.events,
+		Event{Kind: KindInstant, RID: 2, VM: "driver-vm", Layer: LayerFaults, Name: "inject",
+			Start: 1400, End: 1400, Detail: `quote " backslash \ newline` + "\n tab \t bell \x07 µs`"},
+		Event{Kind: KindInstant, VM: "sim", Layer: LayerSched, Name: "callback", Start: 1450, End: 1450},
+	)
+	return tr
+}
+
+// The Chrome export matches the committed golden byte-for-byte, and the
+// golden is valid JSON with the expected process/thread naming.
+func TestChromeGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := chromeFixture().WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Fatalf("chrome export drifted from golden (run with -update if intended):\n%s", b.Bytes())
+	}
+
+	// The golden must itself be loadable JSON of the trace_event shape.
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q, want ns", doc.DisplayTimeUnit)
+	}
+	// 3 VMs + sim = 4 process_name records, in first-seen order.
+	names := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			names[e.Name]++
+		}
+	}
+	if names["process_name"] != 4 || names["thread_name"] != 6 {
+		t.Errorf("metadata records = %v, want 4 processes and 6 threads", names)
+	}
+}
+
+// Detail strings survive a JSON round-trip exactly, however hostile.
+func TestChromeDetailEscaping(t *testing.T) {
+	var b bytes.Buffer
+	if err := chromeFixture().WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Args struct {
+				Detail string `json:"detail"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("escaping broke the JSON: %v", err)
+	}
+	want := `quote " backslash \ newline` + "\n tab \t bell \x07 µs`"
+	found := false
+	for _, e := range doc.TraceEvents {
+		if e.Name == "inject" {
+			found = true
+			if e.Args.Detail != want {
+				t.Errorf("detail round-trip = %q, want %q", e.Args.Detail, want)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("inject instant missing from export")
+	}
+}
+
+// Nil and empty tracers both export a loadable, empty trace.
+func TestChromeEmptyExport(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   *Tracer
+	}{{"nil", nil}, {"empty", New()}} {
+		var b bytes.Buffer
+		if err := tc.tr.WriteChrome(&b); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+			t.Fatalf("%s export is not valid JSON: %v\n%s", tc.name, err, b.Bytes())
+		}
+		if !strings.Contains(b.String(), `"traceEvents":[`) {
+			t.Errorf("%s export missing traceEvents array: %s", tc.name, b.Bytes())
+		}
+	}
+}

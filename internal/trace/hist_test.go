@@ -162,3 +162,57 @@ func TestHistDumpQuantileLine(t *testing.T) {
 		t.Fatalf("dump missing %q:\n%s", want, b.String())
 	}
 }
+
+// Once a histogram spills its reservoir, the dump's quantile line marks
+// every value approximate — an operator can never mistake a bucket upper
+// bound for an exact order statistic.
+func TestHistDumpApproxMarker(t *testing.T) {
+	r := newRegistry()
+	for i := 0; i < HistSampleCap+1; i++ {
+		r.observe("h.big", 1000)
+	}
+	var b bytes.Buffer
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "hist h.big p50=~1023ns p95=~1023ns p99=~1023ns p999=~1023ns\n"
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("spilled dump missing %q:\n%s", want, b.String())
+	}
+}
+
+// The derived hit-rate gauges appear (as percentages, sorted with the other
+// gauges) exactly when their counter pairs have data.
+func TestDumpDerivedHitrates(t *testing.T) {
+	r := newRegistry()
+	var b bytes.Buffer
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "hitrate") {
+		t.Fatalf("hitrate gauges with no counters:\n%s", b.String())
+	}
+
+	r.add("hv.tlb.hit", 3)
+	r.add("hv.tlb.miss", 1)
+	r.add("cvd.mapcache.hits", 1)
+	r.add("cvd.mapcache.misses", 2)
+	r.set("aaa.first", 7) // sorts before the derived gauges
+	b.Reset()
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"gauge aaa.first 7\n",
+		"gauge cvd.mapcache.hitrate 33.33%\n",
+		"gauge hv.tlb.hitrate 75.00%\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "aaa.first") > strings.Index(out, "mapcache.hitrate") {
+		t.Errorf("derived gauges not sorted with the rest:\n%s", out)
+	}
+}

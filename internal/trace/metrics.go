@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"strconv"
 
 	"paradice/internal/sim"
 )
@@ -176,8 +177,26 @@ func (r *Registry) Dump(w io.Writer) error {
 			return err
 		}
 	}
-	for _, name := range sortedKeys(r.gauges) {
-		if _, err := fmt.Fprintf(w, "gauge %s %d\n", name, r.gauges[name]); err != nil {
+	// Gauges plus the derived hit-rate percentages: operators should not
+	// have to hand-divide counter pairs, so the cache hit rates are computed
+	// at dump time (integer basis points — the output stays byte-stable).
+	gauges := make(map[string]string, len(r.gauges)+2)
+	for name, v := range r.gauges {
+		gauges[name] = strconv.FormatUint(v, 10)
+	}
+	for _, d := range [...]struct{ name, hit, miss string }{
+		{"cvd.mapcache.hitrate", "cvd.mapcache.hits", "cvd.mapcache.misses"},
+		{"hv.tlb.hitrate", "hv.tlb.hit", "hv.tlb.miss"},
+	} {
+		hit, miss := r.counters[d.hit], r.counters[d.miss]
+		if hit+miss == 0 {
+			continue
+		}
+		bp := hit * 10000 / (hit + miss)
+		gauges[d.name] = fmt.Sprintf("%d.%02d%%", bp/100, bp%100)
+	}
+	for _, name := range sortedKeys(gauges) {
+		if _, err := fmt.Fprintf(w, "gauge %s %s\n", name, gauges[name]); err != nil {
 			return err
 		}
 	}
@@ -187,9 +206,12 @@ func (r *Registry) Dump(w io.Writer) error {
 			name, h.Count, int64(h.Sum), int64(h.Mean())); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "hist %s p50=%dns p95=%dns p99=%dns p999=%dns\n",
-			name, int64(h.Quantile(0.50)), int64(h.Quantile(0.95)),
-			int64(h.Quantile(0.99)), int64(h.Quantile(0.999))); err != nil {
+		// Quantiles carry the exactness marker: a "~" prefix means the
+		// reservoir spilled past HistSampleCap and the values are log2
+		// bucket upper bounds, not exact order statistics.
+		if _, err := fmt.Fprintf(w, "hist %s p50=%s p95=%s p99=%s p999=%s\n",
+			name, quantMark(h, 0.50), quantMark(h, 0.95),
+			quantMark(h, 0.99), quantMark(h, 0.999)); err != nil {
 			return err
 		}
 		for k, c := range h.Buckets {

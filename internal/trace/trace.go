@@ -98,12 +98,14 @@ func (e Event) Dur() sim.Duration { return e.End.Sub(e.Start) }
 // A nil *Tracer is valid everywhere: every method no-ops, which is how
 // disabled tracing stays off the hot path.
 type Tracer struct {
-	env     *sim.Env
-	events  []Event
-	byProc  map[*sim.Proc]uint64 // proc -> request ID binding
-	nextRID uint64
-	reg     *Registry
-	schedOn bool
+	env      *sim.Env
+	events   []Event
+	byProc   map[*sim.Proc]uint64 // proc -> request ID binding
+	nextRID  uint64
+	reg      *Registry
+	schedOn  bool
+	flight   *FlightRecorder // nil unless armed
+	noRetain bool            // drop events after forwarding (long armed runs)
 }
 
 // New returns an empty tracer. Attach it to an environment with Install.
@@ -206,7 +208,11 @@ func (t *Tracer) Span(rid uint64, vm, layer, name string, start, end sim.Time) {
 	if t == nil || end == start {
 		return
 	}
-	t.events = append(t.events, Event{Kind: KindSpan, RID: rid, VM: vm, Layer: layer, Name: name, Start: start, End: end})
+	e := Event{Kind: KindSpan, RID: rid, VM: vm, Layer: layer, Name: name, Start: start, End: end}
+	if !t.noRetain {
+		t.events = append(t.events, e)
+	}
+	t.flight.onEvent(e)
 }
 
 // Group records an enclosing span (request root, execute envelope, recovery
@@ -216,7 +222,11 @@ func (t *Tracer) Group(rid uint64, vm, layer, name string, start, end sim.Time) 
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, Event{Kind: KindGroup, RID: rid, VM: vm, Layer: layer, Name: name, Start: start, End: end})
+	e := Event{Kind: KindGroup, RID: rid, VM: vm, Layer: layer, Name: name, Start: start, End: end}
+	if !t.noRetain {
+		t.events = append(t.events, e)
+	}
+	t.flight.onEvent(e)
 }
 
 // Instant records a point event at the current virtual time.
@@ -225,7 +235,11 @@ func (t *Tracer) Instant(rid uint64, vm, layer, name, detail string) {
 		return
 	}
 	now := t.env.Now()
-	t.events = append(t.events, Event{Kind: KindInstant, RID: rid, VM: vm, Layer: layer, Name: name, Start: now, End: now, Detail: detail})
+	e := Event{Kind: KindInstant, RID: rid, VM: vm, Layer: layer, Name: name, Start: now, End: now, Detail: detail}
+	if !t.noRetain {
+		t.events = append(t.events, e)
+	}
+	t.flight.onEvent(e)
 }
 
 // Events returns the recorded events in emission order. The slice is the
@@ -275,6 +289,40 @@ func (t *Tracer) WriteMetrics(w io.Writer) error {
 		return nil
 	}
 	return t.reg.Dump(w)
+}
+
+// ArmFlightRecorder attaches a flight recorder built from cfg: from now on
+// every emitted event is forwarded into the recorder's digest pipeline.
+// Arming never advances the virtual clock, so an armed and a disarmed run
+// of the same seed stay bit-identical in time.
+func (t *Tracer) ArmFlightRecorder(cfg FlightConfig) *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	fr := NewFlightRecorder(cfg)
+	fr.reg = t.reg
+	t.flight = fr
+	return fr
+}
+
+// Flight returns the armed flight recorder, or nil (on a nil tracer too).
+// A nil recorder no-ops everywhere, so callers annotate unconditionally.
+func (t *Tracer) Flight() *FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.flight
+}
+
+// SetEventRetention controls whether emitted events are retained in the
+// unbounded Events() slice. Long always-on runs arm the flight recorder
+// and turn retention off: digests and outlier trees stay (bounded), the
+// raw firehose does not. On by default.
+func (t *Tracer) SetEventRetention(on bool) {
+	if t == nil {
+		return
+	}
+	t.noRetain = !on
 }
 
 // EnableSched routes the environment's scheduler decisions through this
