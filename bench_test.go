@@ -395,6 +395,15 @@ func TestFastPathDisabledGolden(t *testing.T) {
 		// false even with the rest of the fast path armed-but-idle.
 		{"interrupts-walkcache-off", paradice.Config{Mode: paradice.Interrupts, MapCache: true, TLB: false, GrantBatch: false}, noopGoldenInterrupts},
 		{"polling-walkcache-off", paradice.Config{Mode: paradice.Polling, MapCache: true, TLB: false, GrantBatch: false}, noopGoldenPolling},
+		// The adaptive transport at closed-loop no-op load never leaves
+		// interrupt stance (the ~35 µs round trip IS the inter-arrival gap,
+		// above the poll threshold), so it must reproduce the interrupt
+		// golden bit for bit — the dormancy guarantee that makes Adaptive
+		// safe to configure fleet-wide.
+		{"adaptive-dormant", paradice.Config{Mode: paradice.Adaptive}, noopGoldenInterrupts},
+		// BatchSize without CoalesceWindow is inert by contract: no deadline
+		// exists to bound a partial batch, so both sides bypass batching.
+		{"adaptive-batchsize-inert", paradice.Config{Mode: paradice.Adaptive, BatchSize: 8}, noopGoldenInterrupts},
 	} {
 		t.Run(c.name, func(t *testing.T) {
 			m, gk := guestKernel(t, c.cfg, paradice.PathGPU)

@@ -79,6 +79,7 @@ func (g *Guest) Paravirtualize(paths ...string) error {
 			MapCache:        g.M.cfg.MapCache,
 			MapThreshold:    g.M.cfg.MapThreshold,
 			CoalesceWindow:  g.M.cfg.CoalesceWindow,
+			BatchSize:       g.M.cfg.BatchSize,
 			TLB:             g.M.cfg.TLB,
 			GrantBatch:      g.M.cfg.GrantBatch,
 			Admission:       g.M.cfg.Admission,

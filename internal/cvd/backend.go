@@ -40,21 +40,27 @@ func opName(op uint8) string {
 	return "?"
 }
 
-// Mode selects the CVD transport: inter-VM interrupts (default) or the
+// Mode selects the CVD transport: inter-VM interrupts (default), the
 // polling mode for high-performance applications (§5.1), in which both
 // sides poll the shared page for 200 µs before going to sleep to wait for
-// interrupts.
+// interrupts, or the adaptive mode, which switches NAPI-style between the
+// two per channel based on the observed arrival rate — poll under load,
+// re-arm interrupts when idle.
 type Mode int
 
 // Transport modes.
 const (
 	Interrupts Mode = iota
 	Polling
+	Adaptive
 )
 
 func (m Mode) String() string {
-	if m == Polling {
+	switch m {
+	case Polling:
 		return "polling"
+	case Adaptive:
+		return "adaptive"
 	}
 	return "interrupts"
 }
@@ -112,6 +118,26 @@ type Backend struct {
 	// the foreground guest only.
 	notifyGate func() bool
 
+	// Completion batching (mirror of the frontend's doorbell batching).
+	// With batchSize and batchWait set, interrupt-path completions
+	// accumulate and share one response IRQ, flushed by the same
+	// size+deadline policy; respGen invalidates an armed deadline timer
+	// once a size-triggered flush has run. Heartbeat acks and the polled
+	// path bypass it — watchdog latency and spinning requesters are never
+	// delayed by the batch window.
+	batchSize   int
+	batchWait   sim.Duration
+	respPending int
+	respGen     uint64
+
+	// Adaptive stance (Mode == Adaptive): the backend's own arrival-rate
+	// EWMA, fed by request pickups in the dispatcher. In poll stance the
+	// dispatcher spins its window before sleeping (as static Polling does);
+	// in interrupt stance it sleeps immediately.
+	stancePoll bool
+	arrAvg     sim.Duration
+	lastSeen   sim.Time
+
 	// warmFiles/warmVMAs carry the predecessor's open-file table across a
 	// planned handover: fileIDs the guest still holds but the successor's
 	// driver has never seen. The successor re-opens them lazily — the first
@@ -130,6 +156,13 @@ type Backend struct {
 	HbAcked       uint64 // watchdog heartbeats echoed
 	HbDropped     uint64 // heartbeat acks swallowed by fault injection
 	WarmReopens   uint64 // predecessor files lazily re-opened after a handover
+	RespFlushes   uint64 // response IRQ flushes sent (each covers >= 1 completions)
+
+	// SpinTime accumulates the virtual time the dispatcher spent spinning
+	// its poll window — the CPU the driver VM burns to keep latency low.
+	// The adaptive bench gates on it at low load, where static polling
+	// pays a full idle window per wake and adaptive must not.
+	SpinTime sim.Duration
 }
 
 // SetNotifyGate installs a predicate consulted before notifications are
@@ -318,7 +351,9 @@ func (b *Backend) dispatch(p *sim.Proc) {
 			return
 		}
 		b.serviceHeartbeat()
+		b.consumeSubBatch(p)
 		if slot, ok := b.oldestPosted(); ok {
+			b.observeArrival()
 			b.ring.setSlotState(slot, slotRunning)
 			req := b.ring.readRequest(slot)
 			b.spawnHandler(req)
@@ -333,9 +368,11 @@ func (b *Backend) dispatch(p *sim.Proc) {
 		if _, ok := b.oldestPosted(); ok {
 			continue
 		}
-		if b.mode == Polling && b.window > 0 {
+		if b.pollStanceNow() && b.window > 0 {
 			b.ring.writeU32(hdrBackendPoll, 1)
+			spinStart := b.hv.Env.Now()
 			woken := p.WaitTimeout(b.doorbell, b.window)
+			b.SpinTime += b.hv.Env.Now().Sub(spinStart)
 			b.ring.writeU32(hdrBackendPoll, 0)
 			if woken {
 				continue
@@ -350,6 +387,70 @@ func (b *Backend) dispatch(p *sim.Proc) {
 		}
 		p.Wait(b.doorbell)
 	}
+}
+
+// pollStanceNow reports whether the dispatcher should spin its poll window
+// before sleeping: always in static Polling, and in Adaptive while the
+// observed arrival rate holds the backend in poll stance.
+func (b *Backend) pollStanceNow() bool {
+	return b.mode == Polling || (b.mode == Adaptive && b.stancePoll)
+}
+
+// observeArrival feeds one request pickup into the backend's adaptive EWMA
+// and flips its stance when the average crosses perf.AdaptivePollGap — the
+// dispatcher-side half of the NAPI-style switch. Bookkeeping only: it reads
+// the clock, never advances it.
+func (b *Backend) observeArrival() {
+	if b.mode != Adaptive {
+		return
+	}
+	now := b.hv.Env.Now()
+	gap := now.Sub(b.lastSeen)
+	b.lastSeen = now
+	if gap > adaptiveGapCap || b.arrAvg == 0 {
+		gap = adaptiveGapCap
+	}
+	if b.arrAvg == 0 {
+		b.arrAvg = gap // first pickup: start in interrupt stance
+	} else {
+		b.arrAvg += (gap - b.arrAvg) / 4
+	}
+	poll := b.arrAvg < perf.AdaptivePollGap
+	if poll == b.stancePoll {
+		return
+	}
+	b.stancePoll = poll
+	name := "mode-to-interrupts"
+	if poll {
+		name = "mode-to-poll"
+	}
+	tr := trace.Get(b.driverK.Env)
+	tr.Add("cvd.adaptive.be.switches", 1)
+	tr.Instant(0, b.driverVM.Name, trace.LayerBE, name, b.guestVM.Name)
+}
+
+// consumeSubBatch drains the ring's submission batch descriptor: the flush
+// that rang the doorbell published how many posted slots it covers
+// (hdrSubCount) and which (hdrSubBits). The dispatcher pays one descriptor
+// deserialization for the whole batch — the amortization the batch exists
+// for — and records the batch size. The words are advisory and untrusted:
+// counts are clamped, the bitmap is cleared without being believed (the
+// oldestPosted scan is the ground truth for what is actually served), and a
+// hostile scribble degrades to a skewed histogram, never a panic.
+func (b *Backend) consumeSubBatch(p *sim.Proc) {
+	n := b.ring.readU32(hdrSubCount)
+	if n == 0 {
+		return
+	}
+	b.ring.writeU32(hdrSubCount, 0)
+	b.ring.takeBitmap(hdrSubBits)
+	if n > slotCount {
+		n = slotCount
+	}
+	p.Advance(perf.CostBatchDescriptor)
+	tr := trace.Get(b.driverK.Env)
+	tr.Add("cvd.backend.batches", 1)
+	tr.ObserveCount("cvd.backend.batch", uint64(n))
 }
 
 // heartbeatPending reports whether the watchdog has posted a heartbeat this
@@ -387,14 +488,14 @@ func (b *Backend) serviceHeartbeat() {
 			b.ring.writeU32(hdrHbAck, req)
 			b.HbAcked++
 			trace.Get(b.driverK.Env).Add("cvd.heartbeat.acked", 1)
-			b.complete(0)
+			b.complete(0, true)
 		})
 		return
 	}
 	b.ring.writeU32(hdrHbAck, req)
 	b.HbAcked++
 	trace.Get(b.driverK.Env).Add("cvd.heartbeat.acked", 1)
-	b.complete(0)
+	b.complete(0, true)
 }
 
 // die marks the backend dead the abnormal way — injected crash or explicit
@@ -515,14 +616,19 @@ func (b *Backend) spawnHandler(req request) {
 		b.ring.writeResponse(req.slot, ret, int32(errno))
 		b.OpsHandled++
 		tr.Add("cvd.backend.ops", 1)
-		b.complete(rid)
+		b.complete(rid, false)
 	})
 }
 
 // complete signals the frontend that a response is ready: a cheap
 // shared-page observation if a requester is spinning, an inter-VM interrupt
-// otherwise. rid labels the crossing's trace span (0 for heartbeat acks).
-func (b *Backend) complete(rid uint64) {
+// otherwise. rid labels the crossing's trace span (0 for heartbeat acks and
+// untraced runs). With completion batching armed, interrupt-path completions
+// accumulate and share one response IRQ under the size+deadline flush
+// policy; heartbeat acks (hb) bypass the batch so watchdog latency is never
+// inflated — a flag, not a rid==0 check, because rids are only allocated
+// when a tracer is installed.
+func (b *Backend) complete(rid uint64, hb bool) {
 	if b.ring.readU32(hdrFrontendPoll) > 0 {
 		if tr := trace.Get(b.hv.Env); tr != nil {
 			now := tr.Now()
@@ -538,6 +644,46 @@ func (b *Backend) complete(rid uint64) {
 		})
 		return
 	}
+	if b.batchSize > 0 && b.batchWait > 0 && !hb {
+		b.respPending++
+		if b.respPending >= b.batchSize {
+			b.flushResp()
+			return
+		}
+		if b.respPending == 1 {
+			gen := b.respGen
+			b.hv.Env.After(b.batchWait, func() {
+				if b.respGen != gen {
+					return // a size-triggered flush already covered this window
+				}
+				b.flushResp()
+			})
+		}
+		return
+	}
+	b.hv.SendInterrupt(b.guestVM, b.vecResp)
+}
+
+// flushResp sends the one response IRQ covering every completion batched
+// since the last flush. The completed slots' descriptors (done bits) are
+// already in the ring — writeResponse published them — so the frontend's
+// scan collects the whole vector off this single interrupt. A flush whose
+// backend has died or been superseded sends nothing: the reconnect sweep
+// owns those completions now.
+func (b *Backend) flushResp() {
+	b.respGen++
+	n := b.respPending
+	b.respPending = 0
+	if n == 0 || !b.ringCurrent() {
+		return
+	}
+	b.RespFlushes++
+	tr := trace.Get(b.hv.Env)
+	tr.Add("cvd.backend.resp.flushes", 1)
+	if n > 1 {
+		tr.Add("cvd.backend.resp.coalesced", uint64(n-1))
+	}
+	tr.ObserveCount("cvd.backend.resp.batch", uint64(n))
 	b.hv.SendInterrupt(b.guestVM, b.vecResp)
 }
 

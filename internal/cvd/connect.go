@@ -64,6 +64,14 @@ type Config struct {
 	// the window in added latency per request. Zero disables coalescing.
 	// The polling path and watchdog heartbeats are unaffected.
 	CoalesceWindow sim.Duration
+	// BatchSize turns the coalescing window into a size+deadline batcher:
+	// the frontend flushes a multi-entry submission descriptor as soon as
+	// BatchSize slots are pending (instead of waiting out the window), and
+	// the backend mirrors it on the completion side — up to BatchSize
+	// responses share one response IRQ, flushed after at most
+	// CoalesceWindow. Requires CoalesceWindow > 0 to have any effect; zero
+	// keeps pure deadline-driven flushing (the PR-4 behavior).
+	BatchSize int
 	// TLB arms the hypervisor's software TLB (internal/hv/tlb.go): per-VM
 	// caches of guest-VA→system-PA translations consulted by the assisted
 	// copy and buffer-mapping paths before the full two-level walk of §5.2,
@@ -148,6 +156,8 @@ func Connect(cfg Config) (*Frontend, *Backend, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	be.batchSize = cfg.BatchSize
+	be.batchWait = cfg.CoalesceWindow
 
 	fe := &Frontend{
 		hv:           cfg.HV,
@@ -167,6 +177,7 @@ func Connect(cfg Config) (*Frontend, *Backend, error) {
 		backend:      be,
 		deadline:     cfg.RequestDeadline,
 		coalesce:     cfg.CoalesceWindow,
+		batchSize:    cfg.BatchSize,
 		grantBatch:   cfg.GrantBatch,
 		hbEvent:      cfg.HV.Env.NewEvent("cvd-hb-" + cfg.GuestPath),
 		drainEvent:   cfg.HV.Env.NewEvent("cvd-drain-" + cfg.GuestPath),

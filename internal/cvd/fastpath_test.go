@@ -349,3 +349,83 @@ func TestCoalescedFlushAfterBackendDeathIsDropped(t *testing.T) {
 			irqsAfterOpen, r.fe.DoorbellIRQs)
 	}
 }
+
+// A flush armed before BeginDrain whose pending set retired during the drain
+// must not ring the predecessor's doorbell mid-switch. The drain itself does
+// not drop flushes — a flush with slots still posted MUST ring, or the
+// quiesce would never see the ring empty — but a flush with nothing left to
+// announce has no business waking the predecessor or scribbling submission
+// descriptor words into a ring that is about to change owners. After the
+// switch commits, the successor's channel must work normally.
+func TestCoalescedFlushAcrossHandoverDrainIsDropped(t *testing.T) {
+	r := newRig(t, Interrupts, kernel.Linux, func(c *Config) {
+		c.CoalesceWindow = 100 * sim.Microsecond
+	})
+	// The successor driver VM, booted and ready before the drain begins.
+	driverVM2, err := r.h.CreateVM("driver2", 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driverK2 := kernel.New("driver2", kernel.Linux, r.env, driverVM2.Space, driverVM2.RAM)
+	drv2 := &testDriver{k: driverK2, wq: driverK2.NewWaitQueue("testdrv2")}
+	driverK2.RegisterDevice("/dev/testdev", drv2, drv2)
+
+	var irqsAtDrain uint64
+	var be2 *Backend
+	r.env.Spawn("handover", func(p *sim.Proc) {
+		// A post arms the flush timer, then retires inside the window — the
+		// backend picked it up off another wake and completed it, and the
+		// issuer collected the response (white-box: recycle directly).
+		slot, ok := r.fe.allocSlot()
+		if !ok {
+			t.Error("no free slot")
+			return
+		}
+		r.fe.ring.writeRequest(slot, request{op: opNone, rid: 11})
+		r.fe.postDoorbell(11, slot)
+		r.fe.ring.recycleSlot(slot)
+
+		// Planned handover starts inside the flush window: drain, prepare the
+		// successor, and let the armed flush fire mid-drain.
+		r.fe.BeginDrain(0)
+		irqsAtDrain = r.fe.DoorbellIRQs
+		prep, err := PrepareHandover(r.fe, r.h, driverVM2, driverK2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Sleep(150 * sim.Microsecond) // the 100 µs flush fires during the drain
+		if r.fe.DoorbellIRQs != irqsAtDrain {
+			t.Errorf("DoorbellIRQs went %d -> %d during the drain; the empty flush must not ring",
+				irqsAtDrain, r.fe.DoorbellIRQs)
+		}
+		if n := r.fe.ring.readU32(hdrSubCount); n != 0 {
+			t.Errorf("hdrSubCount = %d mid-switch, want 0 (no descriptor scribbled)", n)
+		}
+		be2, err = CompleteHandover(r.fe, prep, driverVM2, driverK2, "/dev/testdev")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r.fe.EndDrain()
+	})
+	r.env.RunUntil(sim.Time(sim.Millisecond))
+	if be2 == nil {
+		t.Fatal("handover never completed")
+	}
+
+	// The successor's channel batches and completes normally.
+	r.runApp(t, func(p *kernel.Process, tk *kernel.Task) {
+		fd, err := tk.Open("/dev/testdev", devfile.OWrOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, _ := p.AllocBytes([]byte("ok"))
+		if _, err := tk.Write(fd, src, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if string(drv2.data) != "ok" {
+		t.Fatalf("successor driver saw %q, want %q", drv2.data, "ok")
+	}
+}

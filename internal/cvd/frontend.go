@@ -2,6 +2,7 @@ package cvd
 
 import (
 	"fmt"
+	"math/bits"
 
 	"paradice/internal/devfile"
 	"paradice/internal/faults"
@@ -80,13 +81,34 @@ type Frontend struct {
 	mapThreshold int
 	bulk         map[bulkKey]bulkGrant
 
-	// Doorbell coalescing. With coalesce > 0 (interrupt mode only), the
-	// first post of a window arms a flush timer and posts landing before it
-	// fires share the one inter-VM IRQ the flush sends: one CostInterVMIRQ
-	// per batch instead of per post, at the price of up to the window in
-	// added latency. The polling path never comes through here.
-	coalesce  sim.Duration
-	kickArmed bool
+	// Doorbell batching. With coalesce > 0 (interrupt-stance posts only),
+	// posts accumulate in a pending set sharing one inter-VM IRQ, flushed by
+	// a size+deadline policy: the first pending post arms a flush timer for
+	// the coalesce window (the deadline), and reaching batchSize posts
+	// flushes immediately. The flush publishes a submission batch descriptor
+	// (hdrSubCount + hdrSubBits) and rings once, attributed to the oldest
+	// still-posted member's CURRENT rid — never to a RID whose slot was
+	// reclaimed and reposted inside the window. flushGen invalidates an
+	// armed deadline timer once a size-triggered flush has already run.
+	// The polling path never comes through here.
+	coalesce   sim.Duration
+	batchSize  int
+	pending    []int
+	pendingRID [slotCount]uint64
+	inPending  [slotCount]bool
+	flushGen   uint64
+
+	// Adaptive transport (Mode == Adaptive): NAPI-style stance switching
+	// driven by the observed arrival rate on the virtual clock. arrAvg is an
+	// integer EWMA of inter-post gaps; when it drops below
+	// perf.AdaptivePollGap the channel enters poll stance (requesters spin
+	// for completions and posts kick directly, as in static Polling), and
+	// when arrivals thin out it re-arms interrupts. The stance is mirrored
+	// into the hdrMode ring word for cross-VM observability; the mirror is
+	// advisory and never read back.
+	stancePoll bool
+	arrAvg     sim.Duration
+	lastPost   sim.Time
 
 	// Batched grant hypercalls (Config.GrantBatch). When set, declare prices
 	// a multi-entry grant set as ONE hypervisor crossing — CostGrantDeclare
@@ -121,8 +143,15 @@ type Frontend struct {
 	TimedOut       uint64 // requests failed by the per-request deadline
 	FastFailed     uint64 // requests refused outright (dead backend / degraded)
 	DoorbellIRQs   uint64 // doorbell inter-VM IRQs actually sent
-	CoalescedKicks uint64 // posts that shared a pending doorbell IRQ
+	CoalescedKicks uint64 // posts that shared a flushed doorbell (batch size - 1 per flush)
 	QueuedPosts    uint64 // posts parked at the frontend during a drain
+	BatchFlushes   uint64 // doorbell flushes sent (each covers >= 1 posted slots)
+	ModeSwitches   uint64 // adaptive stance flips, either direction
+
+	// SpinTime accumulates the virtual time requesters spent busy-polling
+	// for completions — the CPU cost of poll stance the latency numbers
+	// alone cannot show. The adaptive bench gates on it at low load.
+	SpinTime sim.Duration
 
 	// path is the guest-visible device path; vm the guest kernel's name.
 	// m holds the per-path metric names, precomputed at Connect so the hot
@@ -199,46 +228,129 @@ func (fe *Frontend) kickBackend(rid uint64) {
 	fe.hv.SendInterrupt(fe.driverVM, fe.vecToBackend)
 }
 
-// postDoorbell notifies the backend of a newly posted request slot,
-// coalescing doorbells when configured: the first post inside a window arms
-// a flush timer, and every post landing before it fires rides the single
-// inter-VM IRQ the flush sends (one CostInterVMIRQ for the whole batch).
-// The polling path is untouched — a spinning backend observes the page
-// directly, IRQ-free, coalesced or not — and watchdog heartbeats call
-// kickBackend directly so detection latency is never inflated by the
-// batching window.
-func (fe *Frontend) postDoorbell(rid uint64) {
-	if fe.coalesce <= 0 || fe.mode != Interrupts {
+// postDoorbell notifies the backend of a newly posted request slot. With
+// batching configured (coalesce > 0) and the channel in interrupt stance,
+// the slot joins the pending set instead of kicking: the first member arms
+// a flush timer for the coalesce deadline, reaching batchSize flushes at
+// once, and the whole set shares the single inter-VM IRQ the flush sends
+// (one CostInterVMIRQ for the batch). The polling path is untouched — a
+// spinning backend observes the page directly, IRQ-free — and watchdog
+// heartbeats call kickBackend directly so detection latency is never
+// inflated by the batching window.
+func (fe *Frontend) postDoorbell(rid uint64, slot int) {
+	if fe.coalesce <= 0 || fe.mode == Polling || (fe.mode == Adaptive && fe.stancePoll) {
 		fe.kickBackend(rid)
 		return
 	}
-	if fe.kickArmed {
-		fe.CoalescedKicks++
-		trace.Get(fe.hv.Env).Add("cvd.doorbell.coalesced", 1)
+	if fe.inPending[slot] {
+		// The slot was reclaimed and reposted inside the window (a timed-out
+		// request swept by a late response, then the slot reused). The
+		// pending set already covers the slot, but the flush must attribute
+		// its kick to the CURRENT occupant — not to the RID that armed the
+		// timer and has since failed out.
+		fe.pendingRID[slot] = rid
 		return
 	}
-	fe.kickArmed = true
-	be := fe.backend
-	fe.hv.Env.After(fe.coalesce, func() {
-		fe.kickArmed = false
-		if fe.backend != be || be == nil || be.stopped {
-			// The channel reconnected (or its backend died) inside the
-			// window: the reconnect sweep has already failed everything that
-			// was posted, and the flush must not ring a doorbell it no
-			// longer owns.
-			return
-		}
-		fe.kickBackend(rid)
-	})
+	fe.pendingRID[slot] = rid
+	fe.inPending[slot] = true
+	fe.pending = append(fe.pending, slot)
+	if fe.batchSize > 0 && len(fe.pending) >= fe.batchSize {
+		// Size trigger: the batch is full, flush now. Bumping flushGen (done
+		// inside flushPending) invalidates the armed deadline timer.
+		fe.flushPending(fe.backend)
+		return
+	}
+	if len(fe.pending) == 1 {
+		// Deadline trigger: the first pending post arms the flush timer.
+		be := fe.backend
+		gen := fe.flushGen
+		fe.hv.Env.After(fe.coalesce, func() {
+			if fe.flushGen != gen {
+				return // a size-triggered flush already covered this window
+			}
+			fe.flushPending(be)
+		})
+	}
 }
 
-// scanDone fires the response event of every completed slot. It runs from
-// the response ISR (interrupt mode) or as the spinning requester's page
-// observation (polling mode). Slots whose issuer timed out and left are
-// reclaimed here — the late response is discarded, never delivered.
+// flushPending sends the one doorbell covering the current pending set. The
+// set is re-validated at flush time: only slots still posted are counted and
+// published in the submission descriptor, and the kick is attributed to the
+// oldest still-posted member's current rid. A flush whose backend died, was
+// superseded (restart epoch moved on), or whose pending set has entirely
+// retired inside the window rings nothing — it no longer owns a doorbell, or
+// has nothing to announce, and must not scribble descriptor words a
+// successor now owns.
+func (fe *Frontend) flushPending(be *Backend) {
+	fe.flushGen++
+	pending := fe.pending
+	fe.pending = fe.pending[:0]
+	for _, s := range pending {
+		fe.inPending[s] = false
+	}
+	if fe.backend != be || be == nil || !be.ringCurrent() {
+		// The channel reconnected, handed over, or its backend died inside
+		// the window: the reconnect sweep has already failed everything that
+		// was posted, and the flush must not ring a doorbell it no longer
+		// owns. (During a drain the predecessor still owns the ring and its
+		// in-flight posts — a flush then proceeds, or the quiesce would
+		// never see the ring empty.)
+		return
+	}
+	posted := 0
+	var firstRID uint64
+	for _, s := range pending {
+		if fe.ring.slotState(s) != slotPosted {
+			continue // retired (or picked up) inside the window; nothing to announce
+		}
+		if posted == 0 {
+			firstRID = fe.pendingRID[s]
+		}
+		fe.ring.setBitmapBit(hdrSubBits, s)
+		posted++
+	}
+	if posted == 0 {
+		return
+	}
+	fe.ring.writeU32(hdrSubCount, fe.ring.readU32(hdrSubCount)+uint32(posted))
+	fe.BatchFlushes++
+	if posted > 1 {
+		// Per-flush accounting: every member beyond the one that pays for
+		// the kick shared the IRQ. Counted here — not per-post — so the
+		// stat agrees with what the flush actually sent.
+		fe.CoalescedKicks += uint64(posted - 1)
+		trace.Get(fe.hv.Env).Add("cvd.doorbell.coalesced", uint64(posted-1))
+	}
+	tr := trace.Get(fe.hv.Env)
+	tr.Add("cvd.doorbell.flushes", 1)
+	tr.ObserveCount("cvd.doorbell.batch", uint64(posted))
+	fe.kickBackend(firstRID)
+}
+
+// scanDone fires the response event of every slot named by the ring's
+// completion descriptor (hdrDoneCount + hdrDoneBits) — O(batch), not
+// O(slotCount). It runs from the response ISR (interrupt mode) or as the
+// spinning requester's page observation (polling mode). The descriptor words
+// cross the VM boundary and are untrusted: every bit is validated against
+// the actual slot state, so hostile counts or stray bits degrade to a no-op
+// (and, for the issuer, an honest deadline), never a panic or a false
+// completion. Completion bits persist in the ring until consumed, so a
+// dropped response IRQ is recovered by the next scan exactly as the full
+// sweep recovered it. Slots whose issuer timed out and left are reclaimed
+// here — the late response is discarded, never delivered.
 func (fe *Frontend) scanDone() {
-	for s := 0; s < slotCount; s++ {
-		if fe.ring.slotState(s) == slotDone {
+	if fe.ring.readU32(hdrDoneCount) != 0 {
+		fe.ring.writeU32(hdrDoneCount, 0)
+	}
+	words := fe.ring.takeBitmap(hdrDoneBits)
+	for w, word := range words {
+		for word != 0 {
+			b := bits.TrailingZeros32(word)
+			word &^= 1 << uint(b)
+			s := w*32 + b
+			if s >= slotCount || fe.ring.slotState(s) != slotDone {
+				continue // hostile or stale bit: no completed slot behind it
+			}
 			if fe.abandoned[s] {
 				fe.abandoned[s] = false
 				fe.ring.recycleSlot(s)
@@ -268,6 +380,63 @@ func (fe *Frontend) handleNotifs() {
 			}
 		}
 	}
+}
+
+// adaptiveGapCap clamps the inter-post gap fed to the adaptive EWMA: one
+// long idle period must swing the stance to interrupts immediately-ish, but
+// not so far that the first burst after it spends dozens of requests paying
+// IRQ costs before the average recovers. 8x the threshold re-converges to
+// poll stance within ~8 back-to-back posts.
+const adaptiveGapCap = 8 * perf.AdaptivePollGap
+
+// updateStance feeds one post arrival into the adaptive EWMA and flips the
+// channel's stance when the average crosses perf.AdaptivePollGap: fast
+// arrivals (average below the threshold — roughly, requests arriving more
+// often than an IRQ round trip costs) enter poll stance; sparse arrivals
+// re-arm interrupts, NAPI-style. Pure bookkeeping on the virtual clock — it
+// never advances time, so Adaptive at steady state prices exactly like the
+// static mode it is currently imitating.
+func (fe *Frontend) updateStance() {
+	if fe.mode != Adaptive {
+		return
+	}
+	now := fe.hv.Env.Now()
+	gap := now.Sub(fe.lastPost)
+	fe.lastPost = now
+	if gap > adaptiveGapCap || fe.arrAvg == 0 {
+		gap = adaptiveGapCap
+	}
+	if fe.arrAvg == 0 {
+		fe.arrAvg = gap // first post: start in interrupt stance
+	} else {
+		fe.arrAvg += (gap - fe.arrAvg) / 4
+	}
+	poll := fe.arrAvg < perf.AdaptivePollGap
+	if poll == fe.stancePoll {
+		return
+	}
+	fe.stancePoll = poll
+	fe.ModeSwitches++
+	var v uint32
+	name := "mode-to-interrupts"
+	if poll {
+		v, name = 1, "mode-to-poll"
+	}
+	fe.ring.writeU32(hdrMode, v)
+	tr := trace.Get(fe.hv.Env)
+	tr.Add("cvd.adaptive.switches", 1)
+	tr.Set("cvd.adaptive.stance", uint64(v))
+	tr.Instant(0, fe.vm, trace.LayerFE, name, fe.path)
+}
+
+// pollNow reports whether this request should take the polled completion
+// path: always in static Polling, and in Adaptive whenever the channel is
+// currently in poll stance.
+func (fe *Frontend) pollNow() bool {
+	if fe.window <= 0 {
+		return false
+	}
+	return fe.mode == Polling || (fe.mode == Adaptive && fe.stancePoll)
 }
 
 // slotClaimed reserves a slot between allocation and posting.
@@ -389,10 +558,11 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 	ev.Reset()
 	t.Sim().Advance(perf.CostPost)
 	tr.Span(rid, fe.vm, trace.LayerFE, "post", start, tr.Now())
+	fe.updateStance()
 	fe.ring.writeRequest(slot, r)
-	fe.postDoorbell(rid)
+	fe.postDoorbell(rid, slot)
 	answered := true
-	if fe.mode == Polling && fe.window > 0 {
+	if fe.pollNow() {
 		// The polled wait is bounded by the request deadline, not just the
 		// window: previously a doomed request spun the whole window with
 		// hdrFrontendPoll raised and only then started the deadline clock,
@@ -406,7 +576,9 @@ func (fe *Frontend) roundTrip(c *kernel.FopCtx, r request) (int32, kernel.Errno)
 			spin = fe.deadline
 		}
 		fe.ring.writeU32(hdrFrontendPoll, fe.ring.readU32(hdrFrontendPoll)+1)
+		spinStart := fe.hv.Env.Now()
 		woken := t.Sim().WaitTimeout(ev, spin)
+		fe.SpinTime += fe.hv.Env.Now().Sub(spinStart)
 		fe.ring.writeU32(hdrFrontendPoll, fe.ring.readU32(hdrFrontendPoll)-1)
 		if !woken {
 			switch {

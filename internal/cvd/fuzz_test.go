@@ -129,6 +129,75 @@ func FuzzRingHostileBackendBytes(f *testing.F) {
 	})
 }
 
+// batchSeedCorpus seeds the hostile patterns specific to the multi-entry
+// batch descriptor words. First byte 2 steers scribble's offset to 32 =
+// hdrMode, so one payload spans mode, hdrSubCount, the four hdrSubBits
+// words, hdrDoneCount, and the four hdrDoneBits words.
+func batchSeedCorpus(f *testing.F) {
+	ringSeedCorpus(f)
+	// Everything saturated: mode garbage, counts huge, both bitmaps full.
+	sat := make([]byte, 1+44)
+	sat[0] = 2
+	for i := 1; i < len(sat); i++ {
+		sat[i] = 0xFF
+	}
+	f.Add(sat)
+	// Count/bitmap disagreement: hdrSubCount enormous, bitmap empty. The
+	// dispatcher must clamp the advisory count, not trust it.
+	lie := make([]byte, 1+8)
+	lie[0] = 2
+	lie[5], lie[6], lie[7], lie[8] = 0xFF, 0xFF, 0xFF, 0xFF // hdrSubCount
+	f.Add(lie)
+	// Bitmap bits naming slot indices >= slotCount (bits 96..127 live in the
+	// last word; slotCount is 100, so most are out of range).
+	wild := make([]byte, 1+24)
+	wild[0] = 2
+	wild[5] = 1                                                     // hdrSubCount = 1
+	wild[21], wild[22], wild[23], wild[24] = 0xFF, 0xFF, 0xFF, 0xFF // hdrSubBits[3]
+	f.Add(wild)
+	// Done bits asserted for every slot regardless of slot state: scanDone
+	// must validate each bit against the actual slot word.
+	done := make([]byte, 1+44)
+	done[0] = 2
+	for i := 25; i < len(done); i++ { // hdrDoneCount + hdrDoneBits
+		done[i] = 0xFF
+	}
+	f.Add(done)
+}
+
+// FuzzBatchDescriptorHostileWords attacks the multi-entry batch descriptor:
+// hostile submission counts/bitmaps are parsed by the backend's dispatcher
+// (consumeSubBatch) and hostile completion counts/bitmaps by the frontend's
+// response scan (scanDone). Both words are advisory by design — every bit is
+// validated against the authoritative slot state — so arbitrary values must
+// surface as no-ops or honest errnos, never panics, on a channel with
+// batching and the adaptive stance armed.
+func FuzzBatchDescriptorHostileWords(f *testing.F) {
+	batchSeedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := newRig(t, Adaptive, kernel.Linux, func(c *Config) {
+			c.CoalesceWindow = 20 * sim.Microsecond
+			c.BatchSize = 8
+		})
+		// A legitimate operation first, so slots exist in realistic states
+		// when the hostile words land.
+		r.runApp(t, func(p *kernel.Process, tk *kernel.Task) {
+			fd, err := tk.Open("/dev/testdev", devfile.ORdWr)
+			if err != nil {
+				return
+			}
+			src, _ := p.AllocBytes([]byte("payload"))
+			_, _ = tk.Write(fd, src, 7)
+		})
+		scribble(r, data)
+		// Drive both descriptor consumers against the scribbled words.
+		r.h.SendInterrupt(r.driverVM, r.fe.vecToBackend)
+		r.fe.scanDone()
+		r.env.Run()
+		probe(r, t)
+	})
+}
+
 // FuzzReconnectEpochHostileWords scribbles the ring mid-flight and then runs
 // the reconnect path — the one consumer of the restart-epoch word — against
 // it. Reconnect must either succeed (attaching a successor backend at a

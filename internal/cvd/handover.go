@@ -183,6 +183,9 @@ func CompleteHandover(fe *Frontend, prep *HandoverPrep, driverVM *hv.VM, driverK
 	vecToBackend := driverVM.AllocVector()
 	be := newBackendWith(prep.proc, fe.hv, driverVM, fe.guestVM, driverK, node,
 		prep.beGPA, fe.mode, fe.window, vecToBackend, fe.vecResp, fe.vecNotif)
+	// Successors keep the channel's batching behavior across the switch.
+	be.batchSize = fe.batchSize
+	be.batchWait = fe.coalesce
 	if fe.mapCache {
 		be.enableMapCache(fe.grants)
 		// Seed the successor's map cache with the pre-established mappings.

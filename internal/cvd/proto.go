@@ -55,7 +55,19 @@ const (
 	hdrHbAck        = 20 // u32: last heartbeat sequence the backend echoed
 	hdrEpoch        = 24 // u32: restart epoch of the backend owning the ring
 	hdrDrain        = 28 // u32: planned handover in progress; new posts park
+	hdrMode         = 32 // u32: frontend's adaptive stance (0 irq, 1 poll); advisory
+	hdrSubCount     = 36 // u32: submission batch descriptor count since last consume
+	hdrSubBits      = 40 // 4×u32 bitmap of posted slots in the batch (bit s = slot s)
+	hdrDoneCount    = 56 // u32: completion count since last scan
+	hdrDoneBits     = 60 // 4×u32 bitmap of completed slots (bit s = slot s)
 	hdrSize         = 96
+
+	// bitmapWords is the width of the submission/completion descriptor
+	// bitmaps: 4×32 = 128 bits covers slotCount with room to spare. Both
+	// bitmaps are ADVISORY — either side may scribble them, so readers
+	// validate every bit against the actual slot state and ignore bits at or
+	// beyond slotCount.
+	bitmapWords = 4
 
 	slotSize  = 40
 	slotCount = 100
@@ -181,6 +193,12 @@ func (p page) writeResponse(slot int, ret int32, errno int32) {
 	p.writeU32(base+sRet, uint32(ret))
 	p.writeU32(base+sErrno, uint32(errno))
 	p.writeU32(base+sState, slotDone)
+	// Publish a completion descriptor so the frontend's scan is O(batch):
+	// set the slot's done bit and bump the count. The words are advisory —
+	// the scan re-validates against slot state — so a hostile peer clearing
+	// them degrades to a deadline, never to corruption.
+	p.setBitmapBit(hdrDoneBits, slot)
+	p.writeU32(hdrDoneCount, p.readU32(hdrDoneCount)+1)
 }
 
 func (p page) readResponse(slot int) (ret int32, errno int32) {
@@ -204,6 +222,32 @@ func (p page) recycleSlot(slot int) {
 func (p page) slotState(slot int) uint32 { return p.readU32(slotOff(slot) + sState) }
 func (p page) setSlotState(slot int, st uint32) {
 	p.writeU32(slotOff(slot)+sState, st)
+}
+
+// setBitmapBit ORs slot's bit into the descriptor bitmap rooted at base
+// (hdrSubBits or hdrDoneBits). Out-of-range slots are ignored — the bitmaps
+// are advisory and must never become a way to write outside their words.
+func (p page) setBitmapBit(base, slot int) {
+	if slot < 0 || slot >= bitmapWords*32 {
+		return
+	}
+	off := base + 4*(slot/32)
+	p.writeU32(off, p.readU32(off)|1<<uint(slot%32))
+}
+
+// takeBitmap reads and clears the descriptor bitmap rooted at base. The
+// caller validates each set bit against the actual slot state before acting
+// on it: the words cross the VM boundary and are untrusted.
+func (p page) takeBitmap(base int) [bitmapWords]uint32 {
+	var bits [bitmapWords]uint32
+	for w := 0; w < bitmapWords; w++ {
+		off := base + 4*w
+		bits[w] = p.readU32(off)
+		if bits[w] != 0 {
+			p.writeU32(off, 0)
+		}
+	}
+	return bits
 }
 
 // postNotif ORs bits into the pending-notification field.

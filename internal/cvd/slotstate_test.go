@@ -11,7 +11,13 @@ package cvd
 //     stale RID where the next reader expects an errno;
 //  3. a timed-out slot reclaimed and reposted in a new restart epoch could be
 //     scribbled on by a handler thread of the pre-restart backend — one that
-//     was never stopped because its driver VM was wedged, not dead.
+//     was never stopped because its driver VM was wedged, not dead;
+//  4. the coalesced-doorbell flush closure captured the ARMING post's request
+//     ID and kicked with it when the window expired, regardless of what had
+//     happened to the slot in between: a slot that timed out and was
+//     reclaimed inside the window produced a doorbell for nothing, and one
+//     that was reclaimed and REPOSTED produced a doorbell attributed to the
+//     stale RID instead of the slot's current occupant.
 
 import (
 	"bytes"
@@ -231,5 +237,96 @@ func TestEpochGuardDiscardsWedgedBackendLateResponse(t *testing.T) {
 		if st := r.fe.ring.slotState(s); st != slotFree {
 			t.Fatalf("slot %d left in state %d by the wedged backend's late handler", s, st)
 		}
+	}
+}
+
+// Bug 4a: a coalesced flush whose entire pending set retired inside the
+// window must ring nothing. Pre-fix, the flush closure captured the arming
+// post's RID and kicked unconditionally when the window expired — a doorbell
+// for a slot that timed out and was reclaimed, waking the backend for
+// nothing and attributing the kick to a request that had already failed out.
+func TestOrphanedCoalescedFlushDoesNotRing(t *testing.T) {
+	r := newRig(t, Interrupts, kernel.Linux, func(c *Config) {
+		c.CoalesceWindow = 50 * sim.Microsecond
+	})
+	r.env.Spawn("whitebox", func(p *sim.Proc) {
+		slot, ok := r.fe.allocSlot()
+		if !ok {
+			t.Error("no free slot")
+			return
+		}
+		// Post and arm the flush timer, then reclaim the slot inside the
+		// window — the interleaving scanDone produces when the issuer timed
+		// out, abandoned the slot, and the late response arrived before the
+		// flush fired.
+		r.fe.ring.writeRequest(slot, request{op: opNone, rid: 11})
+		r.fe.postDoorbell(11, slot)
+		r.fe.ring.recycleSlot(slot)
+		p.Sleep(200 * sim.Microsecond) // well past the window
+	})
+	r.env.RunUntil(sim.Time(sim.Millisecond))
+	if r.fe.DoorbellIRQs != 0 {
+		t.Fatalf("DoorbellIRQs = %d, want 0: the flush's only slot retired inside the window", r.fe.DoorbellIRQs)
+	}
+	if r.fe.BatchFlushes != 0 {
+		t.Fatalf("BatchFlushes = %d, want 0", r.fe.BatchFlushes)
+	}
+	// Nothing may have been scribbled into the submission descriptor either.
+	if n := r.fe.ring.readU32(hdrSubCount); n != 0 {
+		t.Fatalf("hdrSubCount = %d after an empty flush, want 0", n)
+	}
+	for w := 0; w < bitmapWords; w++ {
+		if bits := r.fe.ring.readU32(hdrSubBits + 4*w); bits != 0 {
+			t.Fatalf("hdrSubBits word %d = %#x after an empty flush, want 0", w, bits)
+		}
+	}
+}
+
+// Bug 4b: a slot reclaimed and REPOSTED inside the window is a live request
+// again — the flush must ring for it, attributed to the slot's CURRENT
+// request ID, not the stale RID of the post that armed the timer. The kick's
+// attribution is observable through the poll-cross trace span: with the
+// backend-poll word raised, kickBackend records the crossing with the RID it
+// was handed.
+func TestCoalescedFlushAttributesCurrentRID(t *testing.T) {
+	r := newRig(t, Interrupts, kernel.Linux, func(c *Config) {
+		c.CoalesceWindow = 50 * sim.Microsecond
+	})
+	tr := trace.New()
+	trace.Install(r.env, tr)
+	defer trace.Uninstall(r.env)
+	r.env.Spawn("whitebox", func(p *sim.Proc) {
+		slot, ok := r.fe.allocSlot()
+		if !ok {
+			t.Error("no free slot")
+			return
+		}
+		// RID 11 posts and arms the flush; its request times out, the slot is
+		// reclaimed, and RID 22 reposts the SAME slot inside the window.
+		r.fe.ring.writeRequest(slot, request{op: opNone, rid: 11})
+		r.fe.postDoorbell(11, slot)
+		r.fe.ring.recycleSlot(slot)
+		r.fe.ring.writeRequest(slot, request{op: opNone, rid: 22})
+		r.fe.postDoorbell(22, slot)
+		// Raise the backend-poll word so the flush's kick takes the traced
+		// poll-cross path, making its RID attribution observable.
+		r.fe.ring.writeU32(hdrBackendPoll, 1)
+		p.Sleep(200 * sim.Microsecond)
+	})
+	r.env.RunUntil(sim.Time(sim.Millisecond))
+	if r.fe.BatchFlushes != 1 {
+		t.Fatalf("BatchFlushes = %d, want 1 (the reposted slot is live)", r.fe.BatchFlushes)
+	}
+	var kicks []uint64
+	for _, e := range tr.Events() {
+		if e.Name == "poll-cross" && e.Layer == trace.LayerIRQ && e.VM == r.driverVM.Name {
+			kicks = append(kicks, e.RID)
+		}
+	}
+	if len(kicks) != 1 {
+		t.Fatalf("doorbell poll-cross spans = %d, want exactly 1 (one flush, one kick)", len(kicks))
+	}
+	if kicks[0] != 22 {
+		t.Fatalf("flush kicked with RID %d, want 22 (the slot's current occupant, not the stale armer)", kicks[0])
 	}
 }

@@ -62,6 +62,7 @@ var (
 	stressOpenloop   = flag.Bool("stress.openloop", false, "run every seed with the open-loop load generator armed (default: every 4th seed)")
 	stressHandover   = flag.Bool("stress.handover", false, "perform a planned driver-VM handover mid-run on every 4th seed (dormant unless set)")
 	stressFlightrec  = flag.Bool("stress.flightrec", false, "arm the flight recorder on every seed (default: every 4th seed)")
+	stressAdaptive   = flag.Bool("stress.adaptive", false, "run every seed on the adaptive transport with submission/completion batching armed (dormant unless set)")
 )
 
 const (
@@ -414,6 +415,13 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	if !weaken && rng.Intn(2) == 1 {
 		mode = cvd.Polling
 	}
+	// The adaptive arm overrides the transport AFTER the rng draw above, so
+	// the rest of the seed's random sequence — and thus its fault schedule —
+	// is identical to the static-mode run of the same seed.
+	adaptive := !weaken && *stressAdaptive
+	if adaptive {
+		mode = cvd.Adaptive
+	}
 	var deadline sim.Duration
 	if supervised {
 		// Supervised deployments run with per-request deadlines so an issuer
@@ -434,6 +442,12 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	if walkcache {
 		cfg.TLB = true
 		cfg.GrantBatch = true
+	}
+	if adaptive {
+		// Batching rides the adaptive arm: multi-entry submission doorbells
+		// and shared response IRQs under every fault the plan can throw.
+		cfg.BatchSize = 8
+		cfg.CoalesceWindow = 20 * sim.Microsecond
 	}
 	fe, be, err := cvd.Connect(cfg)
 	if err != nil {
@@ -900,6 +914,12 @@ func TestStressDeterministic(t *testing.T) {
 // regenerates it bit for bit.
 func TestStressTraceDeterministic(t *testing.T) {
 	n := int64(50)
+	if *stressAdaptive {
+		// The adaptive arm sweeps wider: stance switching and batch flush
+		// timing add interleavings the static modes never exercise, and the
+		// whole point of the arm is that none of them leak into the exports.
+		n = 250
+	}
 	if raceEnabled {
 		n = 10 // each traced run is ~30x slower under the race detector
 	}

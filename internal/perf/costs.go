@@ -139,6 +139,21 @@ const (
 	// that.
 	CostHandoverSwitch = 100 * sim.Microsecond
 
+	// CostBatchDescriptor is the backend's cost to deserialize one
+	// submission batch descriptor (the count word plus the slot bitmap)
+	// when a flushed doorbell announces a vector of posted slots. Paid once
+	// per consumed batch, regardless of batch size — the amortization that
+	// makes multi-entry submission cheaper than per-post doorbells.
+	CostBatchDescriptor = 100 * sim.Nanosecond
+
+	// AdaptivePollGap is the adaptive transport's stance threshold: when a
+	// channel's EWMA of inter-arrival gaps drops below this, requests are
+	// arriving faster than an interrupt round trip can be amortized
+	// (2·CostInterVMIRQ — the two crossings a forwarded operation pays) and
+	// the channel switches to poll stance; above it, interrupts are
+	// re-armed, NAPI-style.
+	AdaptivePollGap = 2 * CostInterVMIRQ
+
 	// CostNetmapSync is the fixed kernel cost of one netmap TX-ring sync
 	// (the poll handler's ring scan and doorbell).
 	CostNetmapSync = 600 * sim.Nanosecond

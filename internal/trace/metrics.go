@@ -21,6 +21,10 @@ type Registry struct {
 	counters map[string]uint64
 	gauges   map[string]uint64
 	hists    map[string]*Hist
+	// counts are unit-less histograms (batch sizes, vector lengths): the
+	// same Hist machinery, dumped without the "ns" suffix. Kept separate so
+	// duration and count distributions can never be confused in the output.
+	counts map[string]*Hist
 }
 
 func newRegistry() *Registry {
@@ -28,6 +32,7 @@ func newRegistry() *Registry {
 		counters: make(map[string]uint64),
 		gauges:   make(map[string]uint64),
 		hists:    make(map[string]*Hist),
+		counts:   make(map[string]*Hist),
 	}
 }
 
@@ -132,6 +137,15 @@ func (r *Registry) observe(name string, d sim.Duration) {
 	h.observe(d)
 }
 
+func (r *Registry) observeCount(name string, n uint64) {
+	h := r.counts[name]
+	if h == nil {
+		h = &Hist{}
+		r.counts[name] = h
+	}
+	h.observe(sim.Duration(n))
+}
+
 // Counter returns the current value of a counter (0 if never incremented).
 func (r *Registry) Counter(name string) uint64 {
 	if r == nil {
@@ -154,6 +168,14 @@ func (r *Registry) Histogram(name string) *Hist {
 		return nil
 	}
 	return r.hists[name]
+}
+
+// CountHist returns the named count histogram, or nil.
+func (r *Registry) CountHist(name string) *Hist {
+	if r == nil {
+		return nil
+	}
+	return r.counts[name]
 }
 
 func sortedKeys[V any](m map[string]V) []string {
@@ -221,6 +243,21 @@ func (r *Registry) Dump(w io.Writer) error {
 			if _, err := fmt.Fprintf(w, "hist %s bucket lt=2^%d %d\n", name, k, c); err != nil {
 				return err
 			}
+		}
+	}
+	// Count histograms last, with unit-less values. Absent entirely when
+	// nothing observed a count — dormant dumps are byte-identical to the
+	// pre-count format.
+	for _, name := range sortedKeys(r.counts) {
+		h := r.counts[name]
+		if _, err := fmt.Fprintf(w, "counthist %s count=%d sum=%d mean=%d\n",
+			name, h.Count, int64(h.Sum), int64(h.Mean())); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "counthist %s p50=%d p95=%d p99=%d max=%d\n",
+			name, int64(h.Quantile(0.50)), int64(h.Quantile(0.95)),
+			int64(h.Quantile(0.99)), int64(h.Quantile(1))); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -275,6 +275,15 @@ func (t *Tracer) Observe(name string, d sim.Duration) {
 	t.reg.observe(name, d)
 }
 
+// ObserveCount records one unit-less sample (a batch size, a vector length)
+// into the count histogram name.
+func (t *Tracer) ObserveCount(name string, n uint64) {
+	if t == nil {
+		return
+	}
+	t.reg.observeCount(name, n)
+}
+
 // Metrics returns the tracer's registry, or nil on a nil tracer.
 func (t *Tracer) Metrics() *Registry {
 	if t == nil {

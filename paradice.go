@@ -46,6 +46,7 @@ type Mode = cvd.Mode
 const (
 	Interrupts = cvd.Interrupts
 	Polling    = cvd.Polling
+	Adaptive   = cvd.Adaptive
 )
 
 // OS flavors for guests (re-exported from the kernel).
@@ -139,6 +140,13 @@ type Config struct {
 	// within the window of the first share one inter-VM IRQ. Zero disables
 	// coalescing. Polling mode and watchdog heartbeats are unaffected.
 	CoalesceWindow sim.Duration
+	// BatchSize upgrades doorbell coalescing to multi-entry batches: the
+	// frontend flushes a submission descriptor as soon as BatchSize slots
+	// are pending (or CoalesceWindow elapses, whichever is first), and the
+	// backend batches up to BatchSize completions per response IRQ under
+	// the same deadline. Requires CoalesceWindow > 0; zero keeps the
+	// deadline-only coalescing behavior.
+	BatchSize int
 	// TLB arms the hypervisor's software TLB: per-VM caches of
 	// guest-VA→system-PA translations consulted by the assisted-copy and
 	// buffer-mapping paths before the full per-page walks of §5.2, with
