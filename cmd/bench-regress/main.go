@@ -130,6 +130,19 @@ func ruleFor(id string, r row) (rule, bool) {
 		if r.Series == "warm map hits" || r.Series == "queued-replayed" || r.Series == "warm reopens" {
 			return rule{tol: 5, higherIsBetter: true}, true
 		}
+	case "multivm":
+		// The Figure 7 scaling curve. Aggregate throughput and scaling
+		// efficiency gate upward — a worker-pool or shard-routing regression
+		// shows up as lost throughput at the high guest counts long before
+		// it breaks a functional test. The worst per-guest p99 rows gate
+		// like latencies (lower is better): a fairness regression reads as
+		// one guest's tail blowing out the max.
+		if strings.HasPrefix(r.Series, "tput ") || strings.HasPrefix(r.Series, "efficiency ") {
+			return rule{tol: 5, higherIsBetter: true}, true
+		}
+		if strings.HasPrefix(r.Series, "p99 ") {
+			return rule{tol: 5}, true
+		}
 	}
 	return rule{}, false
 }

@@ -41,6 +41,12 @@ func (m *Machine) AddGuest(name string, flavor kernel.Flavor) (*Guest, error) {
 		return nil, err
 	}
 	k := kernel.New(name, flavor, m.Env, vm.Space, m.cfg.GuestRAM)
+	// Each guest VM gets its own event lane: its tasks' calendar entries
+	// live in a per-machine partition merged deterministically with every
+	// other lane (sim.Env), so scale-out runs schedule many guests without
+	// one global calendar hot-spot — and in exactly the order the seed's
+	// flat calendar would have produced.
+	k.Lane = m.Env.AllocLane()
 	k.WakePenalty = perf.CostVMExitIRQ
 	grants, err := cvd.NewGuestGrantTable(m.HV, vm, k)
 	if err != nil {
@@ -69,9 +75,12 @@ func (g *Guest) Paravirtualize(paths ...string) error {
 		if path == PathGPU {
 			specs = g.M.drmSpec
 		}
+		// Placement decides which driver-VM shard serves this path; the
+		// channel connects to that shard's kernel and joins its worker pool.
+		sh := g.M.ShardFor(path)
 		fe, be, err := cvd.Connect(cvd.Config{
 			HV: g.M.HV, GuestVM: g.VM, GuestK: g.K,
-			DriverVM: g.M.DriverVM, DriverK: g.M.DriverK,
+			DriverVM: sh.VM, DriverK: sh.K,
 			DevicePath: path, Mode: g.M.cfg.Mode,
 			Specs: specs, Grants: g.Grants,
 			PollWindow:      g.M.cfg.PollWindow,
@@ -83,6 +92,7 @@ func (g *Guest) Paravirtualize(paths ...string) error {
 			TLB:             g.M.cfg.TLB,
 			GrantBatch:      g.M.cfg.GrantBatch,
 			Admission:       g.M.cfg.Admission,
+			Pool:            sh.Pool,
 		})
 		if err != nil {
 			return err

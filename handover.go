@@ -49,6 +49,34 @@ func (m *Machine) HandoverDriverVM() error {
 	}
 	m.restarting = true
 	defer func() { m.restarting = false }()
+	for i := range m.shards {
+		if err := m.handoverShard(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HandoverDriverShard performs a planned handover of one driver-VM shard,
+// leaving the other shards serving throughout — rolling maintenance across
+// a sharded machine is N of these, one shard at a time. On a single-shard
+// machine HandoverDriverShard(0) is HandoverDriverVM.
+func (m *Machine) HandoverDriverShard(i int) error {
+	if err := m.lifecycleGuards(); err != nil {
+		return err
+	}
+	if i < 0 || i >= len(m.shards) {
+		return fmt.Errorf("paradice: shard %d out of range (machine has %d)", i, len(m.shards))
+	}
+	m.restarting = true
+	defer func() { m.restarting = false }()
+	return m.handoverShard(i)
+}
+
+// handoverShard runs the staged handover for one shard, with the lifecycle
+// lock already held.
+func (m *Machine) handoverShard(shard int) error {
+	sh := m.shards[shard]
 
 	type chanPrep struct {
 		g    *Guest
@@ -57,9 +85,10 @@ func (m *Machine) HandoverDriverVM() error {
 		prep *cvd.HandoverPrep
 	}
 	var (
-		newVM = m.DriverVM // replaced by the Prepare hook's successor boot
-		newK  = m.DriverK
-		preps []chanPrep
+		newVM    = sh.VM // replaced by the Prepare hook's successor boot
+		newK     = sh.K
+		succPool *cvd.Pool
+		preps    []chanPrep
 	)
 
 	drain := m.cfg.HandoverDrain
@@ -73,14 +102,16 @@ func (m *Machine) HandoverDriverVM() error {
 	eachFE := func(fn func(g *Guest, path string, fe *cvd.Frontend)) {
 		for _, g := range m.guests {
 			for _, path := range g.sortedPaths() {
-				fn(g, path, g.Frontends[path])
+				if m.placement.Route(path) == shard {
+					fn(g, path, g.Frontends[path])
+				}
 			}
 		}
 	}
 
 	hooks := handover.Hooks{
 		Prepare: func() error {
-			vm, k, err := m.newDriverVM()
+			vm, k, err := m.newShardVM(shard)
 			if err != nil {
 				return err
 			}
@@ -88,6 +119,11 @@ func (m *Machine) HandoverDriverVM() error {
 				return err
 			}
 			newVM, newK = vm, k
+			if m.cfg.Workers > 0 {
+				// The successor's worker pool spins up alongside it; its
+				// channels join at CompleteHandover. Discarded on abort.
+				succPool = cvd.NewPool(newK, m.cfg.Workers, m.cfg.FairQuantum)
+			}
 			// The successor's boot time is paid now, while the predecessor
 			// serves. RestartDriverVM pays this same cost inside its outage.
 			perf.Charge(m.Env, perf.CostDriverVMRestart)
@@ -115,6 +151,9 @@ func (m *Machine) HandoverDriverVM() error {
 			// the machine exactly as it was.
 			for _, g := range m.guests {
 				for _, path := range g.sortedPaths() {
+					if m.placement.Route(path) != shard {
+						continue
+					}
 					fe := g.Frontends[path]
 					prep, err := cvd.PrepareHandover(fe, m.HV, newVM, newK)
 					if err != nil {
@@ -123,26 +162,32 @@ func (m *Machine) HandoverDriverVM() error {
 					preps = append(preps, chanPrep{g: g, path: path, fe: fe, prep: prep})
 				}
 			}
-			// Commit. The devices reset and reattach to the successor — the
-			// "device re-probe", safe because the rings are idle — and past
-			// this point a failure cannot be rolled back (the predecessor no
-			// longer owns the devices); attachDrivers only fails on host
-			// resource exhaustion.
+			// Commit. The shard's devices reset and reattach to the successor
+			// — the "device re-probe", safe because the rings are idle — and
+			// past this point a failure cannot be rolled back (the
+			// predecessor no longer owns the devices); attachDrivers only
+			// fails on host resource exhaustion.
 			var predBackends []*cvd.Backend
 			for _, cp := range preps {
 				predBackends = append(predBackends, cp.g.Backends[cp.path])
 			}
-			m.resetDevices()
-			if err := m.attachDrivers(newVM, newK); err != nil {
+			m.resetShardDevices(shard)
+			if err := m.attachDrivers(newVM, newK, shard); err != nil {
 				return fmt.Errorf("paradice: handover switch cannot roll back: %w", err)
 			}
-			predVM := m.DriverVM
-			m.DriverVM, m.DriverK = newVM, newK
+			predVM, predPool := sh.VM, sh.Pool
+			sh.VM, sh.K = newVM, newK
+			if shard == 0 {
+				m.DriverVM, m.DriverK = newVM, newK
+			}
 			perf.Charge(m.Env, perf.CostHandoverSwitch)
 			for _, cp := range preps {
 				be, err := cvd.CompleteHandover(cp.fe, cp.prep, newVM, newK, cp.path)
 				if err != nil {
 					return fmt.Errorf("paradice: handover switch cannot roll back: %w", err)
+				}
+				if succPool != nil {
+					succPool.Join(be)
 				}
 				cp.g.Backends[cp.path] = be
 				cp.fe.SetDegraded(false)
@@ -150,12 +195,17 @@ func (m *Machine) HandoverDriverVM() error {
 					cp.g.wireInputGate(cp.path)
 				}
 			}
+			sh.Pool = succPool
 			// Retire the predecessor: orderly stop (its rings' epochs have
-			// moved on already), then flush ITS translation caches only.
+			// moved on already), then its worker pool, then flush ITS
+			// translation caches only.
 			for _, be := range predBackends {
 				if be != nil {
 					be.Stop()
 				}
+			}
+			if predPool != nil {
+				predPool.Stop()
 			}
 			m.HV.FlushVMTranslationCaches(predVM)
 			m.restartEpoch++
@@ -164,10 +214,14 @@ func (m *Machine) HandoverDriverVM() error {
 		Abort: func(stage handover.Stage, cause string) {
 			// Discard in prepare order: deterministic unmap charges. Preps
 			// that were committed have nothing left to discard. The booted
-			// successor VM's RAM is leaked — the hypervisor has no DestroyVM,
-			// same as an abandoned pre-restart driver VM.
+			// successor VM's RAM (and its idle worker pool) is leaked — the
+			// hypervisor has no DestroyVM, same as an abandoned pre-restart
+			// driver VM.
 			for _, cp := range preps {
 				cp.prep.Discard()
+			}
+			if succPool != nil {
+				succPool.Stop()
 			}
 		},
 	}

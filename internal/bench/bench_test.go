@@ -8,7 +8,7 @@ import (
 func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{"noop", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"mouse", "camera", "audio", "table1", "table2", "table3", "analyzer",
-		"ablation", "adaptive", "bulk", "handover", "tail", "walkcache"}
+		"ablation", "adaptive", "bulk", "handover", "multivm", "tail", "walkcache"}
 	got := All()
 	if len(got) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(got), len(want))

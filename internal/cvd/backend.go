@@ -103,6 +103,11 @@ type Backend struct {
 	// mapc, when non-nil, is the grant-map cache (the bulk-transfer fast
 	// path); see mapcache.go.
 	mapc *mapCache
+	// pool, when non-nil, is the driver VM's shared worker pool: the
+	// dispatcher enqueues operations there instead of spawning an unbounded
+	// handler thread each, and bounded workers serve channels under deficit
+	// round-robin. See pool.go.
+	pool *Pool
 	// onDeath, when set, is invoked once if the backend dies abnormally —
 	// an injected driver-VM crash or an explicit Kill — but NOT on an
 	// orderly Stop. Driver-VM supervision registers here for immediate
@@ -291,7 +296,10 @@ func newBackendWith(proc *kernel.Process, h *hv.Hypervisor, driverVM, guestVM *h
 		trace.Get(driverK.Env).Add("cvd.backend.wake_irqs", 1)
 		b.doorbell.Trigger()
 	})
-	driverK.Env.Spawn("cvd-dispatch-"+guestVM.Name, b.dispatch)
+	// The "@<driver>" suffix attributes the proc to its driver-VM shard: a
+	// sharded machine runs one supervisor per shard, each consuming only the
+	// panics of its own backends (supervise.Config.OwnsProc).
+	driverK.Env.SpawnLane(driverK.Lane, "cvd-dispatch-"+guestVM.Name+"@"+driverK.Name, b.dispatch)
 	return b
 }
 
@@ -356,7 +364,11 @@ func (b *Backend) dispatch(p *sim.Proc) {
 			b.observeArrival()
 			b.ring.setSlotState(slot, slotRunning)
 			req := b.ring.readRequest(slot)
-			b.spawnHandler(req)
+			if b.pool != nil {
+				b.pool.enqueue(b, req)
+			} else {
+				b.spawnHandler(req)
+			}
 			continue
 		}
 		// About to sleep: re-arm the doorbell, then re-check the queue (and
@@ -507,6 +519,9 @@ func (b *Backend) die() {
 	}
 	b.stopped = true
 	b.dropMapCache()
+	if b.pool != nil {
+		b.pool.Leave(b)
+	}
 	if fn := b.onDeath; fn != nil {
 		b.onDeath = nil
 		fn()
@@ -562,9 +577,23 @@ func (b *Backend) oldestPosted() (int, bool) {
 
 // spawnHandler runs one forwarded operation on its own thread, as the paper
 // does ("the CVD backend invokes a thread to execute the file operation"),
-// so an operation blocking in the driver does not stall the queue.
+// so an operation blocking in the driver does not stall the queue. With a
+// worker pool attached (Config.Workers > 0) the dispatcher enqueues to the
+// pool instead and a bounded worker calls handle directly.
 func (b *Backend) spawnHandler(req request) {
-	b.driverK.Env.Spawn(fmt.Sprintf("cvd-op-%s-%d", b.guestVM.Name, req.seq), func(sp *sim.Proc) {
+	b.driverK.Env.SpawnLane(b.driverK.Lane,
+		fmt.Sprintf("cvd-op-%s-%d@%s", b.guestVM.Name, req.seq, b.driverK.Name),
+		func(sp *sim.Proc) {
+			b.handle(sp, req)
+		})
+}
+
+// handle executes one forwarded operation on the calling proc — either a
+// per-op handler thread (spawnHandler) or a pooled worker. It deserializes,
+// adopts a driver-VM task bound to the request's trace ID, runs the file
+// operation, and writes the response unless the ring's epoch moved on.
+func (b *Backend) handle(sp *sim.Proc, req request) {
+	{
 		tr := trace.Get(b.driverK.Env)
 		rid := uint64(req.rid)
 		// Bind the handler proc to the forwarded request's ID so layers that
@@ -617,7 +646,7 @@ func (b *Backend) spawnHandler(req request) {
 		b.OpsHandled++
 		tr.Add("cvd.backend.ops", 1)
 		b.complete(rid, false)
-	})
+	}
 }
 
 // complete signals the frontend that a response is ready: a cheap

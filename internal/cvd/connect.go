@@ -93,6 +93,11 @@ type Config struct {
 	// the backend's memory operations validate against the cached vector at
 	// CostTLBHit instead of re-scanning the shared page. Off by default.
 	GrantBatch bool
+	// Pool, when non-nil, is the driver VM's shared worker pool (pool.go):
+	// this channel joins it at connect time, and the dispatcher enqueues
+	// operations there instead of spawning one handler thread per operation.
+	// nil keeps thread-per-op — the seed behavior.
+	Pool *Pool
 }
 
 // DefaultMapThreshold is the transfer size at which the grant-map cache
@@ -158,6 +163,9 @@ func Connect(cfg Config) (*Frontend, *Backend, error) {
 	}
 	be.batchSize = cfg.BatchSize
 	be.batchWait = cfg.CoalesceWindow
+	if cfg.Pool != nil {
+		cfg.Pool.Join(be)
+	}
 
 	fe := &Frontend{
 		hv:           cfg.HV,
@@ -183,7 +191,7 @@ func Connect(cfg Config) (*Frontend, *Backend, error) {
 		drainEvent:   cfg.HV.Env.NewEvent("cvd-drain-" + cfg.GuestPath),
 		path:         cfg.GuestPath,
 		vm:           cfg.GuestVM.Name,
-		m:            newFeMetricNames(cfg.GuestPath),
+		m:            newFeMetricNames(cfg.GuestVM.Name, cfg.GuestPath),
 	}
 	for i := range fe.respEvents {
 		fe.respEvents[i] = cfg.HV.Env.NewEvent(fmt.Sprintf("cvd-resp-%s-%d", cfg.GuestPath, i))

@@ -163,17 +163,20 @@ type Frontend struct {
 	qdepthHigh int
 }
 
-// feMetricNames are the frontend's per-device-path metric names, built once
-// at Connect time (tracing must cost nothing but a map lookup when off, and
-// no string concatenation when on).
+// feMetricNames are the frontend's per-channel metric names, built once at
+// Connect time (tracing must cost nothing but a map lookup when off, and no
+// string concatenation when on). Names are keyed "cvd.<path>@<vm>" — the
+// guest VM qualifier keeps multi-guest dumps per-guest attributable: two
+// guests paravirtualizing the same device path must not fold their counters
+// into one series.
 type feMetricNames struct {
 	ops, bytes, rejected, throttled, timedOut, fastFailed string
 	queued, lat, qdepth, qdepthMax                        string
 	errTimedOut, errNoDev, errRemote, errBusy, errAgain   string
 }
 
-func newFeMetricNames(path string) feMetricNames {
-	p := "cvd." + path
+func newFeMetricNames(vm, path string) feMetricNames {
+	p := "cvd." + path + "@" + vm
 	return feMetricNames{
 		ops:         p + ".ops",
 		bytes:       p + ".bytes",
@@ -649,7 +652,7 @@ func (fe *Frontend) SetAdmission(limits map[uint8]int) {
 	fe.admitNames = make(map[uint8]string, len(limits))
 	for cls, lim := range limits {
 		fe.admission[cls] = lim
-		fe.admitNames[cls] = fmt.Sprintf("cvd.%s.eagain.class%d", fe.path, cls)
+		fe.admitNames[cls] = fmt.Sprintf("cvd.%s@%s.eagain.class%d", fe.path, fe.vm, cls)
 	}
 }
 

@@ -26,6 +26,9 @@ import (
 func (b *Backend) Stop() {
 	b.stopped = true
 	b.dropMapCache()
+	if b.pool != nil {
+		b.pool.Leave(b)
+	}
 	b.doorbell.Trigger()
 }
 

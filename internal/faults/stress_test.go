@@ -27,6 +27,12 @@ package faults_test
 // part of the byte-identical replay contract, and on invariant failure a
 // forensics replay writes them to a temp artifact directory.
 //
+// With -stress.multivm, every seed additionally hosts two extra guest VMs —
+// own kernels, own processes, own ungranted canaries — whose channels share
+// the driver VM with the main guest; their workloads are rng-free functions
+// of the seed, so the flag never perturbs the base run's fault schedule, and
+// the isolation invariants become per-guest.
+//
 // On failure the reproducing seed is printed; re-run with
 // -stress.seed=<seed> to replay the exact simulation.
 
@@ -63,6 +69,7 @@ var (
 	stressHandover   = flag.Bool("stress.handover", false, "perform a planned driver-VM handover mid-run on every 4th seed (dormant unless set)")
 	stressFlightrec  = flag.Bool("stress.flightrec", false, "arm the flight recorder on every seed (default: every 4th seed)")
 	stressAdaptive   = flag.Bool("stress.adaptive", false, "run every seed on the adaptive transport with submission/completion batching armed (dormant unless set)")
+	stressMultiVM    = flag.Bool("stress.multivm", false, "add two extra guest VMs with their own channels, workloads, and canaries on every seed (dormant unless set)")
 )
 
 const (
@@ -382,6 +389,21 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	// managers fighting over one channel.
 	handoverArmed := !weaken && !supervised && *stressHandover && seed%4 == 0
 
+	// The multi-VM arm (dormant unless -stress.multivm): two extra guest VMs
+	// join the deployment, each with its own kernel, process, ungranted
+	// canary, and CVD channel to the same stress device in the shared driver
+	// VM. Their workloads are derived from the seed by plain arithmetic, not
+	// the plan's rng, so arming the flag changes NOTHING in the base run's
+	// random sequence — the same seed produces the same fault schedule with
+	// or without the extra guests. The invariants become per-guest: every
+	// extra guest's tasks stay live on per-request deadlines alone (their
+	// channels are deliberately left out of the phase-2 recovery, like the
+	// sink channel), they observe only honest errnos, and each guest's canary
+	// — memory no operation from ANY guest ever granted — is byte-identical
+	// after the run, however the shared driver VM died, restarted, or
+	// scribbled.
+	multivm := !weaken && *stressMultiVM
+
 	h := hv.New(env, 64<<20)
 	driverVM, err := h.CreateVM("driver", vmRAM)
 	if err != nil {
@@ -491,6 +513,116 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 		}
 		if err := gen.Start(guestK); err != nil {
 			return err
+		}
+	}
+
+	// The extra guests of the multi-VM arm. Setup consumes no rng: workload
+	// shapes are pure arithmetic on (seed, guest, task, op), so reproduction
+	// by seed is exact under the flag too.
+	type xguest struct {
+		app      *kernel.Process
+		canary   []byte
+		canaryVA mem.GuestVirt
+		done     []bool
+		viol     []error
+	}
+	var xguests []*xguest
+	if multivm {
+		for gi := 0; gi < 2; gi++ {
+			name := fmt.Sprintf("guest-x%d", gi)
+			vm, err := h.CreateVM(name, vmRAM)
+			if err != nil {
+				return err
+			}
+			k := kernel.New(name, kernel.Linux, env, vm.Space, vm.RAM)
+			xapp, err := k.NewProcess(name + "-app")
+			if err != nil {
+				return err
+			}
+			xc := []byte(fmt.Sprintf("multi-guest-canary-%02d-intact!!", gi))
+			xcVA, err := xapp.AllocBytes(xc)
+			if err != nil {
+				return err
+			}
+			// Same transport options as the main channel; the deadline is the
+			// extra channel's only liveness mechanism (nothing ever reconnects
+			// it), exactly like the sink channel.
+			xcfg := cfg
+			xcfg.GuestVM, xcfg.GuestK = vm, k
+			xcfg.RequestDeadline = 5 * sim.Millisecond
+			if _, _, err := cvd.Connect(xcfg); err != nil {
+				return err
+			}
+			const xTasks, xOps = 2, 4
+			xg := &xguest{app: xapp, canary: xc, canaryVA: xcVA,
+				done: make([]bool, xTasks), viol: make([]error, xTasks)}
+			xguests = append(xguests, xg)
+			for ti := 0; ti < xTasks; ti++ {
+				ti := ti
+				ops := make([]stressOp, xOps)
+				for j := range ops {
+					// opWrite..opNoop, spread across guests/tasks by seed
+					// arithmetic — deterministic, rng-free.
+					ops[j] = stressOp((seed + int64(gi*7+ti*3+j)) % int64(opMmapCycle))
+				}
+				wbuf := []byte(fmt.Sprintf("xguest-%d-task-%d-payload", gi, ti))
+				wVA, err := xapp.AllocBytes(wbuf)
+				if err != nil {
+					return err
+				}
+				rVA, err := xapp.Alloc(64)
+				if err != nil {
+					return err
+				}
+				xVA, err := xapp.AllocBytes(make([]byte, 32))
+				if err != nil {
+					return err
+				}
+				xapp.SpawnTask(fmt.Sprintf("xstress-%d-%d", gi, ti), func(tk *kernel.Task) {
+					flags := devfile.ORdWr | devfile.ONonblock
+					fd, err := tk.Open(stressPath, flags)
+					if err != nil {
+						if !isErrnoOrNil(err) {
+							xg.viol[ti] = fmt.Errorf("open leaked non-errno error: %w", err)
+						}
+						xg.done[ti] = true
+						return
+					}
+					for _, op := range ops {
+						var err error
+						switch op {
+						case opWrite:
+							_, err = tk.Write(fd, wVA, len(wbuf))
+						case opRead:
+							_, err = tk.Read(fd, rVA, 64)
+						case opXor:
+							_, err = tk.Ioctl(fd, sdXor, xVA)
+						case opNoop:
+							_, err = tk.Ioctl(fd, sdNoop, 0)
+						}
+						if err == nil {
+							continue
+						}
+						if !isErrnoOrNil(err) {
+							xg.viol[ti] = fmt.Errorf("op %d leaked non-errno error: %w", op, err)
+							break
+						}
+						if kernel.IsErrno(err, kernel.EREMOTE) || kernel.IsErrno(err, kernel.EINVAL) ||
+							kernel.IsErrno(err, kernel.ETIMEDOUT) {
+							if fd2, err2 := tk.Open(stressPath, flags); err2 == nil {
+								fd = fd2
+							} else if !isErrnoOrNil(err2) {
+								xg.viol[ti] = fmt.Errorf("reopen leaked non-errno error: %w", err2)
+								break
+							}
+						}
+					}
+					if err := tk.Close(fd); err != nil && !isErrnoOrNil(err) {
+						xg.viol[ti] = fmt.Errorf("close leaked non-errno error: %w", err)
+					}
+					xg.done[ti] = true
+				})
+			}
 		}
 	}
 
@@ -720,6 +852,16 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 		}
 		return true
 	}
+	xAllDone := func() bool {
+		for _, xg := range xguests {
+			for _, d := range xg.done {
+				if !d {
+					return false
+				}
+			}
+		}
+		return true
+	}
 
 	// Phase 2: the fault window closes. If anything is still blocked — the
 	// driver VM died, or a doorbell/response interrupt was dropped with no
@@ -728,7 +870,7 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 	// is deliberately left out of the recovery: its clients must drain on
 	// per-request deadlines alone, so phase 2 only removes the fault plan
 	// and lets the calendar run dry for them.
-	if !allDone() || (gen != nil && !gen.Done()) {
+	if !allDone() || (gen != nil && !gen.Done()) || !xAllDone() {
 		faults.Uninstall(env)
 		if !allDone() {
 			cur := liveBE // a committed handover may have replaced the backend
@@ -830,6 +972,31 @@ func runOne(seed int64, weaken bool, cap *traceCapture) (retErr error) {
 		return fmt.Errorf("invariant: hypervisor allowed %d undeclared driver copies (%v)",
 			evilAllowed, plan)
 	}
+	// Invariants, per extra guest of the multi-VM arm: liveness on deadlines
+	// alone, honest errnos only, and an intact canary — one guest's traffic
+	// (or the shared driver VM's death) must never leak into another guest's
+	// ungranted memory.
+	for gi, xg := range xguests {
+		for ti, d := range xg.done {
+			if !d {
+				return fmt.Errorf("invariant: extra guest %d task %d still blocked after recovery (deadlocked: %v; %v)",
+					gi, ti, env.Deadlocked(), plan)
+			}
+		}
+		for ti, v := range xg.viol {
+			if v != nil {
+				return fmt.Errorf("invariant: extra guest %d task %d: %v (%v)", gi, ti, v, plan)
+			}
+		}
+		got := make([]byte, len(xg.canary))
+		if err := xg.app.Mem.Read(xg.canaryVA, got); err != nil {
+			return fmt.Errorf("extra guest %d canary readback: %v", gi, err)
+		}
+		if !bytes.Equal(got, xg.canary) {
+			return fmt.Errorf("invariant: extra guest %d canary corrupted: %q -> %q (%v)",
+				gi, xg.canary, got, plan)
+		}
+	}
 	return nil
 }
 
@@ -914,10 +1081,12 @@ func TestStressDeterministic(t *testing.T) {
 // regenerates it bit for bit.
 func TestStressTraceDeterministic(t *testing.T) {
 	n := int64(50)
-	if *stressAdaptive {
-		// The adaptive arm sweeps wider: stance switching and batch flush
-		// timing add interleavings the static modes never exercise, and the
-		// whole point of the arm is that none of them leak into the exports.
+	if *stressAdaptive || *stressMultiVM {
+		// The adaptive and multi-VM arms sweep wider: stance switching and
+		// batch flush timing (adaptive) and cross-guest interleavings over
+		// the shared driver VM (multivm) add schedules the base runs never
+		// exercise, and the whole point of each arm is that none of them
+		// leak into the exports.
 		n = 250
 	}
 	if raceEnabled {

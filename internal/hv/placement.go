@@ -1,0 +1,56 @@
+package hv
+
+import "hash/fnv"
+
+// Placement partitions device files across driver-VM shards. The paper runs
+// one driver VM owning every device; scaling guest count past what one
+// driver VM's vCPU can serve calls for sharding the devices across several,
+// each with its own CVD backends (and, optionally, its own worker pool).
+// Placement is the routing layer: explicit pins for devices whose shard is
+// decided at attach time (the machine's standard devices, or a harness
+// calling PinDevice), and a deterministic hash fallback for everything else,
+// so any path always routes to the same shard in every run.
+type Placement struct {
+	shards int
+	pins   map[string]int
+}
+
+// NewPlacement creates a placement over the given number of shards (values
+// < 1 mean 1 — the paper's single driver VM).
+func NewPlacement(shards int) *Placement {
+	if shards < 1 {
+		shards = 1
+	}
+	return &Placement{shards: shards, pins: make(map[string]int)}
+}
+
+// Shards returns the shard count.
+func (p *Placement) Shards() int { return p.shards }
+
+// Assign pins a device path to a shard. Out-of-range shards are clamped into
+// [0, shards); re-assigning overwrites the pin.
+func (p *Placement) Assign(path string, shard int) {
+	if shard < 0 {
+		shard = 0
+	}
+	p.pins[path] = shard % p.shards
+}
+
+// Lookup reports the pinned shard for a path, if any.
+func (p *Placement) Lookup(path string) (int, bool) {
+	s, ok := p.pins[path]
+	return s, ok
+}
+
+// Route returns the shard serving a path: its pin when one exists, else a
+// stable FNV-1a hash of the path — deterministic across runs and processes,
+// so unpinned paths (per-guest bench sinks, harness devices) spread across
+// shards without any coordination.
+func (p *Placement) Route(path string) int {
+	if s, ok := p.pins[path]; ok {
+		return s
+	}
+	h := fnv.New32a()
+	h.Write([]byte(path))
+	return int(h.Sum32() % uint32(p.shards))
+}

@@ -1,0 +1,62 @@
+package hv
+
+import "testing"
+
+func TestPlacementClampsShardCount(t *testing.T) {
+	for _, n := range []int{-3, 0, 1} {
+		if got := NewPlacement(n).Shards(); got != 1 {
+			t.Fatalf("NewPlacement(%d).Shards() = %d, want 1", n, got)
+		}
+	}
+	if got := NewPlacement(4).Shards(); got != 4 {
+		t.Fatalf("NewPlacement(4).Shards() = %d, want 4", got)
+	}
+}
+
+func TestPlacementPinOverridesHash(t *testing.T) {
+	p := NewPlacement(4)
+	if _, ok := p.Lookup("/dev/gpu"); ok {
+		t.Fatal("fresh placement has a pin for /dev/gpu")
+	}
+	hashed := p.Route("/dev/gpu")
+	p.Assign("/dev/gpu", (hashed+1)%4)
+	if got := p.Route("/dev/gpu"); got != (hashed+1)%4 {
+		t.Fatalf("Route after Assign = %d, want %d", got, (hashed+1)%4)
+	}
+	if s, ok := p.Lookup("/dev/gpu"); !ok || s != (hashed+1)%4 {
+		t.Fatalf("Lookup = (%d, %v), want (%d, true)", s, ok, (hashed+1)%4)
+	}
+	// Re-assignment overwrites; out-of-range pins clamp into [0, shards).
+	p.Assign("/dev/gpu", -7)
+	if got := p.Route("/dev/gpu"); got != 0 {
+		t.Fatalf("Route after negative Assign = %d, want 0", got)
+	}
+	p.Assign("/dev/gpu", 6)
+	if got := p.Route("/dev/gpu"); got != 2 {
+		t.Fatalf("Route after Assign(6) mod 4 = %d, want 2", got)
+	}
+}
+
+// The hash fallback is the routing contract for unpinned paths: stable
+// across placements (same path, same shard count, same answer — it is a
+// pure function, deterministic across runs and processes), always in
+// range, and collapsing to shard 0 on a single-shard placement.
+func TestPlacementHashRouteStableAndInRange(t *testing.T) {
+	paths := []string{"/dev/loadsink0", "/dev/loadsink1", "/dev/stressdev", "/dev/dri/card0", "/dev/netmap"}
+	a, b := NewPlacement(4), NewPlacement(4)
+	for _, path := range paths {
+		ra, rb := a.Route(path), b.Route(path)
+		if ra != rb {
+			t.Fatalf("Route(%q) unstable: %d vs %d", path, ra, rb)
+		}
+		if ra < 0 || ra >= 4 {
+			t.Fatalf("Route(%q) = %d out of range [0,4)", path, ra)
+		}
+	}
+	single := NewPlacement(1)
+	for _, path := range paths {
+		if got := single.Route(path); got != 0 {
+			t.Fatalf("single-shard Route(%q) = %d, want 0", path, got)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// laneWorkload drives a deterministic mixed workload — timers, cross-proc
+// event wake-ups, same-instant ties, stale resumes via WaitTimeout races —
+// and returns the observed execution log. When lanes is 0 everything runs on
+// the default lane; otherwise each worker is pinned to its own lane.
+func laneWorkload(lanes int) []string {
+	e := NewEnv()
+	ids := make([]int, 4)
+	for i := range ids {
+		if lanes > 0 {
+			ids[i] = e.AllocLane()
+		}
+	}
+	var log []string
+	ev := e.NewEvent("lane-test")
+	for i := range ids {
+		i := i
+		spawn := func(name string, fn func(p *Proc)) {
+			if lanes > 0 {
+				e.SpawnLane(ids[i], name, fn)
+			} else {
+				e.Spawn(name, fn)
+			}
+		}
+		spawn(fmt.Sprintf("worker%d", i), func(p *Proc) {
+			rng := rand.New(rand.NewSource(int64(42 + i)))
+			for step := 0; step < 40; step++ {
+				switch rng.Intn(4) {
+				case 0:
+					p.Sleep(Duration(rng.Intn(5)) * Microsecond)
+				case 1:
+					// Same-instant tie with sibling workers.
+					p.Yield()
+				case 2:
+					if !p.WaitTimeout(ev, Duration(1+rng.Intn(3))*Microsecond) {
+						log = append(log, fmt.Sprintf("t=%v w%d timeout", p.Now(), i))
+					}
+				case 3:
+					ev.Trigger()
+					ev.Reset()
+				}
+				log = append(log, fmt.Sprintf("t=%v w%d step%d", p.Now(), i, step))
+				// Cross-lane callback: scheduled from this worker's context,
+				// so it lands on this worker's lane but mutates shared state.
+				p.Env().After(Duration(rng.Intn(3))*Microsecond, func() {
+					log = append(log, fmt.Sprintf("t=%v cb from w%d", e.Now(), i))
+				})
+			}
+		})
+	}
+	e.Run()
+	return log
+}
+
+// TestLaneMergeOrderIdentity is the lanes-refactor contract: partitioning the
+// calendar into per-worker lanes must replay the exact total order of the
+// single flat calendar, because entries keep globally monotonic sequence
+// numbers and the merge heap compares (time, seq) like the flat heap did.
+func TestLaneMergeOrderIdentity(t *testing.T) {
+	flat := laneWorkload(0)
+	laned := laneWorkload(4)
+	if !reflect.DeepEqual(flat, laned) {
+		max := len(flat)
+		if len(laned) > max {
+			max = len(laned)
+		}
+		for i := 0; i < max; i++ {
+			var a, b string
+			if i < len(flat) {
+				a = flat[i]
+			}
+			if i < len(laned) {
+				b = laned[i]
+			}
+			if a != b {
+				t.Fatalf("execution logs diverge at entry %d:\n  flat:  %q\n  laned: %q", i, a, b)
+			}
+		}
+		t.Fatalf("execution logs differ in length: flat %d, laned %d", len(flat), len(laned))
+	}
+}
+
+// TestLaneDeterminism runs the laned workload twice and requires identical
+// logs — the property every stress sweep leans on.
+func TestLaneDeterminism(t *testing.T) {
+	a := laneWorkload(4)
+	b := laneWorkload(4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("laned workload not deterministic across runs")
+	}
+}
+
+// TestLaneInheritance pins down the routing rules: SpawnLane pins the proc,
+// children and callbacks inherit the spawner's lane, and host-context spawns
+// land on lane 0.
+func TestLaneInheritance(t *testing.T) {
+	e := NewEnv()
+	lane := e.AllocLane()
+	if lane != 1 {
+		t.Fatalf("first AllocLane = %d, want 1", lane)
+	}
+	var childLane, cbChildLane = -1, -1
+	e.SpawnLane(lane, "parent", func(p *Proc) {
+		p.Sleep(Microsecond)
+		child := e.Spawn("child", func(p *Proc) { p.Yield() })
+		childLane = child.Lane()
+		e.After(Microsecond, func() {
+			cb := e.Spawn("cb-child", func(p *Proc) { p.Yield() })
+			cbChildLane = cb.Lane()
+		})
+	})
+	host := e.Spawn("host", func(p *Proc) { p.Yield() })
+	if host.Lane() != 0 {
+		t.Fatalf("host-context spawn on lane %d, want 0", host.Lane())
+	}
+	e.Run()
+	if childLane != lane {
+		t.Fatalf("child inherited lane %d, want %d", childLane, lane)
+	}
+	if cbChildLane != lane {
+		t.Fatalf("callback child inherited lane %d, want %d", cbChildLane, lane)
+	}
+	if e.Lanes() != 2 {
+		t.Fatalf("Lanes() = %d, want 2", e.Lanes())
+	}
+}
+
+// TestLaneManyVMsDrain exercises the merge heap with a fleet-sized lane count
+// and interleaved timers, checking the clock still advances monotonically and
+// every process drains.
+func TestLaneManyVMsDrain(t *testing.T) {
+	e := NewEnv()
+	const vms = 128
+	var last Time
+	var ran int
+	for i := 0; i < vms; i++ {
+		i := i
+		lane := e.AllocLane()
+		e.SpawnLane(lane, fmt.Sprintf("vm%d", i), func(p *Proc) {
+			for s := 0; s < 20; s++ {
+				p.Sleep(Duration(1+(i*7+s*3)%11) * Microsecond)
+				if p.Now() < last {
+					t.Errorf("clock went backwards: %v after %v", p.Now(), last)
+				}
+				last = p.Now()
+				ran++
+			}
+		})
+	}
+	e.Run()
+	if ran != vms*20 {
+		t.Fatalf("ran %d steps, want %d", ran, vms*20)
+	}
+	if dl := e.Deadlocked(); dl != nil {
+		t.Fatalf("deadlocked procs: %v", dl)
+	}
+}

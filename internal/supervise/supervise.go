@@ -126,6 +126,12 @@ type Config struct {
 	// 250 ms). A driver VM that dies again within the window is treated as
 	// crash-looping and keeps climbing the backoff schedule.
 	StableAfter sim.Duration
+	// OwnsProc, when set, filters which panicking CVD backend procs this
+	// supervisor consumes — a machine with several driver-VM shards runs one
+	// supervisor per shard, and a panic on shard 2's dispatcher must charge
+	// shard 2's restart budget, not shard 0's. nil owns every CVD proc (the
+	// single-driver-VM case).
+	OwnsProc func(proc string) bool
 }
 
 func (c Config) withDefaults() Config {
@@ -227,6 +233,10 @@ func (s *Supervisor) HandleProcPanic(pp *sim.ProcPanic) bool {
 		return false
 	}
 	if !strings.HasPrefix(pp.Proc, "cvd-dispatch-") && !strings.HasPrefix(pp.Proc, "cvd-op-") {
+		return false
+	}
+	if s.cfg.OwnsProc != nil && !s.cfg.OwnsProc(pp.Proc) {
+		// Another shard's backend — its own supervisor will claim it.
 		return false
 	}
 	s.noteFailure(fmt.Sprintf("backend proc %s panicked: %v", pp.Proc, pp.Value))

@@ -15,6 +15,7 @@ package paradice
 
 import (
 	"fmt"
+	"strings"
 
 	"paradice/internal/cvd"
 	"paradice/internal/devfile"
@@ -172,6 +173,26 @@ type Config struct {
 	// long after the frontends enter drain mode, the handover aborts back to
 	// the still-live predecessor. Zero selects handover.DefaultDrainDeadline.
 	HandoverDrain sim.Duration
+	// DriverShards partitions the machine's devices across N driver VMs
+	// (default 1 — the paper's single driver VM of Figure 1(c)). The standard
+	// devices are placed round-robin across shards at boot; harness devices
+	// registered via OnDriverVMBoot route by PinDevice pin or a stable hash
+	// of the path (hv.Placement). Each shard has its own kernel, its own CVD
+	// backends, its own supervisor (under Supervision), and restarts or hands
+	// over independently, so one shard's outage leaves the other shards'
+	// guests undisturbed. Paradice machines only; the baselines always run 1.
+	DriverShards int
+	// Workers sizes each driver-VM shard's shared backend worker pool
+	// (cvd.Pool): per-channel dispatchers enqueue forwarded operations into
+	// per-channel FIFO queues drained by this many worker threads under
+	// deficit round-robin, bounding driver-VM thread count and isolating
+	// quiet guests from a hot one. Zero keeps the paper's thread-per-
+	// operation behavior.
+	Workers int
+	// FairQuantum is the worker pool's deficit-round-robin quantum: how many
+	// consecutive operations one channel may be served before the scheduler
+	// moves on (default 1 — strict round-robin). Ignored unless Workers > 0.
+	FairQuantum int
 }
 
 func (c Config) withDefaults() Config {
@@ -190,6 +211,12 @@ func (c Config) withDefaults() Config {
 	if c.DIPartitions == 0 {
 		c.DIPartitions = 2
 	}
+	if c.DriverShards < 1 {
+		c.DriverShards = 1
+	}
+	if c.FairQuantum < 1 {
+		c.FairQuantum = 1
+	}
 	return c
 }
 
@@ -203,6 +230,18 @@ const (
 	PathNetmap   = "/dev/netmap"
 )
 
+// DriverShard is one driver VM of a (possibly sharded) machine: its VM and
+// kernel, and — when Config.Workers > 0 — the worker pool shared by every
+// CVD backend in it. A restart or handover of the shard replaces VM, K, and
+// Pool in place; the DriverShard pointer itself is stable for the machine's
+// lifetime.
+type DriverShard struct {
+	Index int
+	VM    *hv.VM
+	K     *kernel.Kernel
+	Pool  *cvd.Pool
+}
+
 // Machine is one assembled platform.
 type Machine struct {
 	Kind Kind
@@ -210,7 +249,7 @@ type Machine struct {
 	HV   *hv.Hypervisor
 
 	// DriverVM/DriverK host the real drivers (and, on the baselines, the
-	// applications too).
+	// applications too). On a sharded machine they alias shard 0.
 	DriverVM *hv.VM
 	DriverK  *kernel.Kernel
 
@@ -238,10 +277,17 @@ type Machine struct {
 	guests     []*Guest
 	foreground *Guest
 
-	// Driver-VM restart/supervision state.
+	// Driver-VM sharding: the shards (shard 0 aliased by DriverVM/DriverK)
+	// and the path→shard routing table.
+	shards    []*DriverShard
+	placement *hv.Placement
+
+	// Driver-VM restart/supervision state. On a sharded machine each shard
+	// has its own supervisor; supervisor aliases shard 0's.
 	restarting   bool
 	restartEpoch uint64
 	supervisor   *supervise.Supervisor
+	supervisors  []*supervise.Supervisor
 	// handovers is the machine's planned-handover episode log (committed and
 	// aborted alike), in order.
 	handovers []handover.Episode
@@ -309,8 +355,26 @@ func build(kind Kind, cfg Config) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := m.bootDriverVM(); err != nil {
-		return nil, err
+
+	// Device placement across driver-VM shards. The baselines always run a
+	// single "shard" (their one machine/VM owns everything); on a Paradice
+	// machine the standard devices go round-robin in canonical class order,
+	// so e.g. 2 shards split GPU+input from NIC+camera+audio.
+	if kind != KindParadice {
+		m.cfg.DriverShards = 1
+	}
+	m.placement = hv.NewPlacement(m.cfg.DriverShards)
+	for i, path := range []string{PathGPU, PathNetmap, PathMouse, PathKeyboard, PathCamera, PathAudio} {
+		m.placement.Assign(path, i%m.placement.Shards())
+	}
+	m.shards = make([]*DriverShard, m.placement.Shards())
+	for i := range m.shards {
+		m.shards[i] = &DriverShard{Index: i}
+	}
+	for i := range m.shards {
+		if err := m.bootShard(i); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Supervision {
 		if kind != KindParadice {
@@ -319,40 +383,104 @@ func build(kind Kind, cfg Config) (*Machine, error) {
 		if m.cfg.RequestDeadline == 0 {
 			m.cfg.RequestDeadline = 50 * sim.Millisecond
 		}
-		m.supervisor = supervise.Start(env, machineTarget{m}, cfg.Supervise)
-		env.OnProcPanic = m.supervisor.HandleProcPanic
+		// One supervisor per shard, each sweeping (and restarting) only its
+		// own shard's channels. With a single shard the proc-panic hook and
+		// sweep behavior are exactly the single-supervisor seed's.
+		for _, sh := range m.shards {
+			scfg := cfg.Supervise
+			if len(m.shards) > 1 {
+				name := sh.K.Name
+				scfg.OwnsProc = func(proc string) bool {
+					return strings.HasSuffix(proc, "@"+name)
+				}
+			}
+			m.supervisors = append(m.supervisors, supervise.Start(env, shardTarget{m: m, idx: sh.Index}, scfg))
+		}
+		m.supervisor = m.supervisors[0]
+		env.OnProcPanic = func(pp *sim.ProcPanic) bool {
+			for _, s := range m.supervisors {
+				if s.HandleProcPanic(pp) {
+					return true
+				}
+			}
+			return false
+		}
 	}
 	return m, nil
 }
 
-// bootDriverVM creates a driver VM and kernel, assigns every device to it,
-// and attaches the drivers. Called at machine construction and again by
-// RestartDriverVM.
-func (m *Machine) bootDriverVM() error {
-	drvVM, drvK, err := m.newDriverVM()
+// bootShard creates shard i's driver VM and kernel, assigns the shard's
+// devices to it, attaches their drivers, replays the boot hooks, and (when
+// Config.Workers > 0) starts the shard's worker pool. Called at machine
+// construction and again by RestartDriverShard; shard 0 doubles as the
+// machine's DriverVM/DriverK.
+func (m *Machine) bootShard(i int) error {
+	drvVM, drvK, err := m.newShardVM(i)
 	if err != nil {
 		return err
 	}
-	m.DriverVM, m.DriverK = drvVM, drvK
-	if err := m.attachDrivers(drvVM, drvK); err != nil {
+	sh := m.shards[i]
+	sh.VM, sh.K = drvVM, drvK
+	if i == 0 {
+		m.DriverVM, m.DriverK = drvVM, drvK
+	}
+	if err := m.attachDrivers(drvVM, drvK, i); err != nil {
 		return err
 	}
-	return m.runDriverBootHooks(drvK)
+	if err := m.runDriverBootHooks(drvK); err != nil {
+		return err
+	}
+	if m.cfg.Workers > 0 && m.Kind == KindParadice {
+		sh.Pool = cvd.NewPool(drvK, m.cfg.Workers, m.cfg.FairQuantum)
+	}
+	return nil
+}
+
+// Shards returns the machine's driver-VM shards (length 1 unless
+// Config.DriverShards asked for more).
+func (m *Machine) Shards() []*DriverShard { return m.shards }
+
+// ShardFor returns the driver-VM shard serving a device path — the pinned
+// shard for the standard devices and PinDevice'd paths, the stable hash
+// route otherwise.
+func (m *Machine) ShardFor(path string) *DriverShard {
+	return m.shards[m.placement.Route(path)]
+}
+
+// PinDevice routes a device path to a specific driver-VM shard, overriding
+// the hash fallback. Call before any guest paravirtualizes the path; the
+// device itself must be registered in that shard's kernel (OnDriverVMBoot
+// hooks run against every shard, so hook-installed devices qualify
+// everywhere).
+func (m *Machine) PinDevice(path string, shard int) error {
+	if m.Kind != KindParadice {
+		return ErrNoDriverVM
+	}
+	if shard < 0 || shard >= len(m.shards) {
+		return fmt.Errorf("paradice: shard %d out of range (machine has %d)", shard, len(m.shards))
+	}
+	m.placement.Assign(path, shard)
+	return nil
 }
 
 // OnDriverVMBoot registers fn to run against the driver kernel of every
 // driver VM this machine boots from now on — restart replacements and
-// handover successors alike — and runs it against the current driver kernel
-// immediately. Harnesses use it to install auxiliary devices (e.g. the load
-// sink) that must exist in every driver-VM generation, or a Reconnect after
-// a restart (and a CompleteHandover during a handover) cannot find the
-// device in the replacement kernel.
+// handover successors alike, in every shard — and runs it against each
+// current driver kernel immediately. Harnesses use it to install auxiliary
+// devices (e.g. the load sink) that must exist in every driver-VM
+// generation, or a Reconnect after a restart (and a CompleteHandover during
+// a handover) cannot find the device in the replacement kernel.
 func (m *Machine) OnDriverVMBoot(fn func(*kernel.Kernel) error) error {
 	if m.Kind != KindParadice {
 		return ErrNoDriverVM
 	}
 	m.onDriverBoot = append(m.onDriverBoot, fn)
-	return fn(m.DriverK)
+	for _, sh := range m.shards {
+		if err := fn(sh.K); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // runDriverBootHooks replays the registered OnDriverVMBoot hooks against a
@@ -366,16 +494,25 @@ func (m *Machine) runDriverBootHooks(k *kernel.Kernel) error {
 	return nil
 }
 
-// newDriverVM boots a driver VM and kernel WITHOUT attaching any device to
-// it. A planned handover calls this during its prepare stage: the successor
-// boots side-by-side while the predecessor — still the machine's DriverVM,
-// still owning every device — keeps serving.
-func (m *Machine) newDriverVM() (*hv.VM, *kernel.Kernel, error) {
-	drvVM, err := m.HV.CreateVM("driver", m.cfg.DriverRAM)
+// newShardVM boots shard i's driver VM and kernel WITHOUT attaching any
+// device. A planned handover calls this during its prepare stage: the
+// successor boots side-by-side while the predecessor — still the shard's
+// VM, still owning its devices — keeps serving. Shard 0 keeps the seed's
+// "driver" name (its generations are byte-compatible with the unsharded
+// machine); shard i > 0 is "driver<i+1>". Every generation gets its own
+// event lane, so a sharded machine's shards interleave through the
+// deterministic lane merge.
+func (m *Machine) newShardVM(i int) (*hv.VM, *kernel.Kernel, error) {
+	name := "driver"
+	if i > 0 {
+		name = fmt.Sprintf("driver%d", i+1)
+	}
+	drvVM, err := m.HV.CreateVM(name, m.cfg.DriverRAM)
 	if err != nil {
 		return nil, nil, err
 	}
-	drvK := kernel.New("driver", kernel.Linux, m.Env, drvVM.Space, m.cfg.DriverRAM)
+	drvK := kernel.New(name, kernel.Linux, m.Env, drvVM.Space, m.cfg.DriverRAM)
+	drvK.Lane = m.Env.AllocLane()
 	if m.Kind != KindNative {
 		// Threads in a VM pay the vCPU-kick penalty on wake-ups.
 		drvK.WakePenalty = perf.CostVMExitIRQ
@@ -383,11 +520,14 @@ func (m *Machine) newDriverVM() (*hv.VM, *kernel.Kernel, error) {
 	return drvVM, drvK, nil
 }
 
-// attachDrivers assigns every device to the given driver VM and attaches the
-// drivers, replacing the machine's driver handles. From this point the
-// devices interrupt into drvVM and DMA through its domains — the previous
-// driver VM, if any, no longer serves them.
-func (m *Machine) attachDrivers(drvVM *hv.VM, drvK *kernel.Kernel) error {
+// attachDrivers assigns shard's devices to the given driver VM and attaches
+// their drivers, replacing the machine's driver handles for those devices.
+// From this point the shard's devices interrupt into drvVM and DMA through
+// its domains — the previous driver VM, if any, no longer serves them. On a
+// single-shard machine every device belongs to shard 0 and this is the full
+// seed attach sequence.
+func (m *Machine) attachDrivers(drvVM *hv.VM, drvK *kernel.Kernel, shard int) error {
+	owns := func(path string) bool { return m.placement.Route(path) == shard }
 	// irqFor wires a device interrupt to a driver-VM ISR with the
 	// platform's delivery latency.
 	irqFor := func(isr func()) func() {
@@ -400,67 +540,82 @@ func (m *Machine) attachDrivers(drvVM *hv.VM, drvK *kernel.Kernel) error {
 	}
 
 	// GPU + DRM.
-	bars := []hv.BAR{{Name: "gpu-vram", SPA: vramBase, Size: m.cfg.VRAM}}
-	assign := m.HV.AssignDevice
-	if m.cfg.DataIsolation {
-		assign = m.HV.AssignDeviceIsolated
-	}
-	dom, gpas, err := assign(drvVM, "gpu", bars)
-	if err != nil {
-		return err
-	}
-	m.GPUDomain = dom
-	var gpuRaise func()
-	drmDrv, err := drm.AttachModel(drvK, m.GPU, m.gpuModel, gpas[0], func(isr func()) {
-		gpuRaise = irqFor(isr)
-	})
-	if err != nil {
-		return err
-	}
-	m.DRM = drmDrv
-	m.GPU.Connect(&iommu.DMA{Dom: dom, Phys: m.HV.Phys, Env: m.Env}, func() { gpuRaise() })
-	m.MCGate = hv.NewGate("gpu-mc")
-	if m.cfg.DataIsolation {
-		// The hypervisor takes the MC register page away from the driver
-		// VM (§5.3 change iii) and the driver switches to the
-		// isolation-compatible configuration.
-		m.MCGate.Revoke()
-		if err := m.DRM.EnableDataIsolation(m.HV, drvVM, dom, m.MCGate); err != nil {
+	if owns(PathGPU) {
+		bars := []hv.BAR{{Name: "gpu-vram", SPA: vramBase, Size: m.cfg.VRAM}}
+		assign := m.HV.AssignDevice
+		if m.cfg.DataIsolation {
+			assign = m.HV.AssignDeviceIsolated
+		}
+		dom, gpas, err := assign(drvVM, "gpu", bars)
+		if err != nil {
 			return err
+		}
+		m.GPUDomain = dom
+		var gpuRaise func()
+		drmDrv, err := drm.AttachModel(drvK, m.GPU, m.gpuModel, gpas[0], func(isr func()) {
+			gpuRaise = irqFor(isr)
+		})
+		if err != nil {
+			return err
+		}
+		m.DRM = drmDrv
+		m.GPU.Connect(&iommu.DMA{Dom: dom, Phys: m.HV.Phys, Env: m.Env}, func() { gpuRaise() })
+		m.MCGate = hv.NewGate("gpu-mc")
+		if m.cfg.DataIsolation {
+			// The hypervisor takes the MC register page away from the driver
+			// VM (§5.3 change iii) and the driver switches to the
+			// isolation-compatible configuration.
+			m.MCGate.Revoke()
+			if err := m.DRM.EnableDataIsolation(m.HV, drvVM, dom, m.MCGate); err != nil {
+				return err
+			}
 		}
 	}
 
 	// NIC + netmap.
-	nicDom, _, err := m.HV.AssignDevice(drvVM, "nic", nil)
-	if err != nil {
-		return err
-	}
-	m.NIC.Connect(&iommu.DMA{Dom: nicDom, Phys: m.HV.Phys, Env: m.Env})
-	m.Netmap, err = netmapdrv.Attach(drvK, m.NIC)
-	if err != nil {
-		return err
+	if owns(PathNetmap) {
+		nicDom, _, err := m.HV.AssignDevice(drvVM, "nic", nil)
+		if err != nil {
+			return err
+		}
+		m.NIC.Connect(&iommu.DMA{Dom: nicDom, Phys: m.HV.Phys, Env: m.Env})
+		m.Netmap, err = netmapdrv.Attach(drvK, m.NIC)
+		if err != nil {
+			return err
+		}
 	}
 
 	// Input devices + evdev.
-	m.Evdev = evdev.Attach(drvK, m.Mouse, PathMouse)
-	m.Kbdev = evdev.Attach(drvK, m.Keyboard, PathKeyboard)
+	if owns(PathMouse) {
+		m.Evdev = evdev.Attach(drvK, m.Mouse, PathMouse)
+	}
+	if owns(PathKeyboard) {
+		m.Kbdev = evdev.Attach(drvK, m.Keyboard, PathKeyboard)
+	}
 
 	// Camera + UVC.
-	camDom, _, err := m.HV.AssignDevice(drvVM, "camera", nil)
-	if err != nil {
-		return err
+	if owns(PathCamera) {
+		camDom, _, err := m.HV.AssignDevice(drvVM, "camera", nil)
+		if err != nil {
+			return err
+		}
+		m.Camera.Connect(&iommu.DMA{Dom: camDom, Phys: m.HV.Phys, Env: m.Env})
+		m.UVC = uvc.Attach(drvK, m.Camera, PathCamera)
 	}
-	m.Camera.Connect(&iommu.DMA{Dom: camDom, Phys: m.HV.Phys, Env: m.Env})
-	m.UVC = uvc.Attach(drvK, m.Camera, PathCamera)
 
 	// Audio + PCM.
-	audDom, _, err := m.HV.AssignDevice(drvVM, "audio", nil)
-	if err != nil {
-		return err
+	if owns(PathAudio) {
+		audDom, _, err := m.HV.AssignDevice(drvVM, "audio", nil)
+		if err != nil {
+			return err
+		}
+		m.Audio.Connect(&iommu.DMA{Dom: audDom, Phys: m.HV.Phys, Env: m.Env})
+		m.PCM, err = pcm.Attach(drvK, m.Audio, PathAudio)
+		if err != nil {
+			return err
+		}
 	}
-	m.Audio.Connect(&iommu.DMA{Dom: audDom, Phys: m.HV.Phys, Env: m.Env})
-	m.PCM, err = pcm.Attach(drvK, m.Audio, PathAudio)
-	return err
+	return nil
 }
 
 // AppKernel returns the kernel applications run on for the baseline

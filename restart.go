@@ -67,14 +67,56 @@ func (m *Machine) RestartDriverVM() error {
 	}
 	m.restarting = true
 	defer func() { m.restarting = false }()
-
-	// Tear down: stop every backend dispatcher, reset every device.
-	for _, g := range m.guests {
-		for _, be := range g.Backends {
-			be.Stop()
+	for i := range m.shards {
+		if err := m.restartShard(i); err != nil {
+			return err
 		}
 	}
-	m.resetDevices()
+	return nil
+}
+
+// RestartDriverShard restarts one driver-VM shard, leaving the other shards
+// — and every guest channel they serve — undisturbed. On a single-shard
+// machine RestartDriverShard(0) is RestartDriverVM. Each shard's supervisor
+// heals through this, so a crash in shard 2's backends costs only shard 2's
+// devices their availability window.
+func (m *Machine) RestartDriverShard(i int) error {
+	if err := m.lifecycleGuards(); err != nil {
+		return err
+	}
+	if i < 0 || i >= len(m.shards) {
+		return fmt.Errorf("paradice: shard %d out of range (machine has %d)", i, len(m.shards))
+	}
+	if d := faults.Point(m.Env, "machine.restart.fail"); d != nil {
+		return fmt.Errorf("%w: %v", ErrRestartFailed, d.Error())
+	}
+	m.restarting = true
+	defer func() { m.restarting = false }()
+	return m.restartShard(i)
+}
+
+// restartShard is the restart sequence for one shard, with the lifecycle
+// lock already held.
+func (m *Machine) restartShard(i int) error {
+	sh := m.shards[i]
+
+	// Tear down: stop the shard's backend dispatchers, then its worker pool,
+	// then reset its devices. Sorted path order, not the map: each Stop
+	// drops that backend's map cache, charging CostMapPage per cached page
+	// in this proc's context, so the instant each later backend's stopped
+	// flag latches — and therefore which racing in-flight operations
+	// fast-fail — depends on the order.
+	for _, g := range m.guests {
+		for _, path := range g.sortedPaths() {
+			if m.placement.Route(path) == i {
+				g.Backends[path].Stop()
+			}
+		}
+	}
+	if sh.Pool != nil {
+		sh.Pool.Stop()
+	}
+	m.resetShardDevices(i)
 
 	// The restart invalidates every cached translation wholesale: the
 	// software TLBs and the grant-validation caches restart cold, like the
@@ -87,20 +129,26 @@ func (m *Machine) RestartDriverVM() error {
 	// with EREMOTE at the frontend because every backend is stopped.
 	perf.Charge(m.Env, perf.CostDriverVMRestart)
 
-	// Boot a fresh driver VM with fresh drivers.
-	if err := m.bootDriverVM(); err != nil {
+	// Boot a fresh driver VM with fresh drivers (and a fresh worker pool).
+	if err := m.bootShard(i); err != nil {
 		return err
 	}
 
-	// Reconnect every guest's frontends to backends in the new driver VM, in
+	// Reconnect the shard's frontends to backends in the new driver VM, in
 	// sorted path order so the per-channel reconnect charges land in a
 	// deterministic order run to run.
 	for _, g := range m.guests {
 		for _, path := range g.sortedPaths() {
+			if m.placement.Route(path) != i {
+				continue
+			}
 			fe := g.Frontends[path]
-			be, err := cvd.Reconnect(fe, m.HV, m.DriverVM, m.DriverK, path)
+			be, err := cvd.Reconnect(fe, m.HV, sh.VM, sh.K, path)
 			if err != nil {
 				return err
+			}
+			if sh.Pool != nil {
+				sh.Pool.Join(be)
 			}
 			g.Backends[path] = be
 			// A successful restart un-degrades the device: the fresh driver
@@ -134,15 +182,29 @@ func (m *Machine) lifecycleGuards() error {
 	return nil
 }
 
-// resetDevices gives every device a function-level reset — the hardware
-// survives a driver-VM lifecycle event, its volatile state does not.
-func (m *Machine) resetDevices() {
-	m.GPU.Reset()
-	m.NIC.Reset()
-	m.Camera.Reset()
-	m.Audio.Reset()
-	m.Mouse.Reset()
-	m.Keyboard.Reset()
+// resetShardDevices gives the shard's devices a function-level reset — the
+// hardware survives a driver-VM lifecycle event, its volatile state does
+// not. Devices owned by other shards keep running. Canonical device order
+// (matching the attach sequence), so reset charges are deterministic.
+func (m *Machine) resetShardDevices(shard int) {
+	if m.placement.Route(PathGPU) == shard {
+		m.GPU.Reset()
+	}
+	if m.placement.Route(PathNetmap) == shard {
+		m.NIC.Reset()
+	}
+	if m.placement.Route(PathCamera) == shard {
+		m.Camera.Reset()
+	}
+	if m.placement.Route(PathAudio) == shard {
+		m.Audio.Reset()
+	}
+	if m.placement.Route(PathMouse) == shard {
+		m.Mouse.Reset()
+	}
+	if m.placement.Route(PathKeyboard) == shard {
+		m.Keyboard.Reset()
+	}
 }
 
 // sortedPaths returns the guest's paravirtualized device paths in sorted

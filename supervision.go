@@ -12,26 +12,39 @@ import (
 // Paravirtualize) and backends replaced by restarts are always the current
 // ones.
 
-// Supervisor returns the driver-VM supervisor, or nil when
-// Config.Supervision is off.
+// Supervisor returns the driver-VM supervisor (shard 0's on a sharded
+// machine), or nil when Config.Supervision is off.
 func (m *Machine) Supervisor() *supervise.Supervisor { return m.supervisor }
 
-// machineTarget adapts the Machine to supervise.Target.
-type machineTarget struct{ m *Machine }
+// Supervisors returns the per-shard supervisors (length 1 unless
+// Config.DriverShards asked for more), or nil when Config.Supervision is
+// off.
+func (m *Machine) Supervisors() []*supervise.Supervisor { return m.supervisors }
 
-func (t machineTarget) Channels() []supervise.Channel {
+// shardTarget adapts one driver-VM shard to supervise.Target: the shard's
+// supervisor sweeps only the channels its shard serves and heals by
+// restarting only its shard. With a single shard this is the whole machine —
+// the seed's machineTarget behavior exactly.
+type shardTarget struct {
+	m   *Machine
+	idx int
+}
+
+func (t shardTarget) Channels() []supervise.Channel {
 	var chs []supervise.Channel
 	for _, g := range t.m.guests {
 		// Sorted paths: the sweep order (and with it every fault-plan
 		// consultation) must be deterministic, not Go map iteration order.
 		for _, path := range g.sortedPaths() {
-			chs = append(chs, machineChannel{g: g, path: path})
+			if t.m.placement.Route(path) == t.idx {
+				chs = append(chs, machineChannel{g: g, path: path})
+			}
 		}
 	}
 	return chs
 }
 
-func (t machineTarget) Restart() error { return t.m.RestartDriverVM() }
+func (t shardTarget) Restart() error { return t.m.RestartDriverShard(t.idx) }
 
 // machineChannel is one guest × device-file CVD connection. The identity is
 // the (guest, path) pair — stable across driver VM restarts even though the
